@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs one reproduction experiment (DESIGN.md's E1–E9) exactly
+once under pytest-benchmark, prints the regenerated table (so
+``pytest benchmarks/ --benchmark-only -s`` reproduces every "table/figure" of
+the paper in one go), and asserts the experiment's shape check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.result import ExperimentResult
+
+
+def run_experiment_benchmark(benchmark, runner, **kwargs) -> ExperimentResult:
+    """Run ``runner(**kwargs)`` once under the benchmark fixture and report it."""
+    result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    return result

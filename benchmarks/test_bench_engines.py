@@ -1,0 +1,29 @@
+"""Benchmark E9 — boundary vs naive engine ablation, plus raw engine throughput."""
+
+from conftest import run_experiment_benchmark
+
+from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.experiments import engine_validation
+from repro.graphs.generators import clique
+
+
+def test_bench_engine_agreement(benchmark):
+    result = run_experiment_benchmark(benchmark, engine_validation.run, scale="small", rng=2027)
+    assert result.passed, "boundary and naive engines disagree in distribution"
+
+
+def test_bench_boundary_engine_throughput(benchmark):
+    """Raw speed of the boundary engine on a 200-node clique."""
+    network = StaticDynamicNetwork(clique(range(200)))
+    process = AsynchronousRumorSpreading()
+    result = benchmark(lambda: process.run(network, rng=0))
+    assert result.completed
+
+
+def test_bench_naive_engine_throughput(benchmark):
+    """Raw speed of the naive engine on a 60-node clique (reference point)."""
+    network = StaticDynamicNetwork(clique(range(60)))
+    process = AsynchronousRumorSpreading(engine="naive")
+    result = benchmark(lambda: process.run(network, rng=0))
+    assert result.completed

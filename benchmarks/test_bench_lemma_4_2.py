@@ -1,0 +1,10 @@
+"""Benchmark E8 — Lemma 4.2 forward 2-push chain crossing probability."""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import lemma_4_2
+
+
+def test_bench_lemma_4_2(benchmark):
+    result = run_experiment_benchmark(benchmark, lemma_4_2.run, scale="small", rng=2025)
+    assert result.passed, "the (2^k/k!)Δ bound of Lemma 4.2 was violated"

@@ -1,0 +1,10 @@
+"""Benchmark E7 — comparison against the Giakkoupis et al. degree-variation bound."""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import related_work
+
+
+def test_bench_related_work(benchmark):
+    result = run_experiment_benchmark(benchmark, related_work.run, scale="small", rng=2026)
+    assert result.passed, "the M(G) inflation of the [17] bound did not appear"

@@ -1,0 +1,10 @@
+"""Benchmark E1 — Theorem 1.1 upper bound validation (see DESIGN.md)."""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import theorem_1_1
+
+
+def test_bench_theorem_1_1(benchmark):
+    result = run_experiment_benchmark(benchmark, theorem_1_1.run, scale="small", rng=2020)
+    assert result.passed, "a measured spread time exceeded the Theorem 1.1 / 1.3 bound"

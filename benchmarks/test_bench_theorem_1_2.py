@@ -1,0 +1,10 @@
+"""Benchmark E2 — Theorem 1.2 / Observation 4.1 lower-bound family."""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import theorem_1_2
+
+
+def test_bench_theorem_1_2(benchmark):
+    result = run_experiment_benchmark(benchmark, theorem_1_2.run, scale="small", rng=2021)
+    assert result.passed, "the Θ(ρ)-diligent family did not show the predicted shape"

@@ -1,0 +1,10 @@
+"""Benchmark E3 — Theorem 1.3 / Remark 1.4 absolute-diligence bound."""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import theorem_1_3
+
+
+def test_bench_theorem_1_3(benchmark):
+    result = run_experiment_benchmark(benchmark, theorem_1_3.run, scale="small", rng=2022)
+    assert result.passed, "a run exceeded T_abs or the universal 2n(n-1) cap"

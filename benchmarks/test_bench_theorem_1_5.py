@@ -1,0 +1,10 @@
+"""Benchmark E4 — Theorem 1.5 absolutely Θ(ρ)-diligent lower-bound family."""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import theorem_1_5
+
+
+def test_bench_theorem_1_5(benchmark):
+    result = run_experiment_benchmark(benchmark, theorem_1_5.run, scale="small", rng=2023)
+    assert result.passed, "the Ω(n/ρ) growth of Theorem 1.5 was not observed"

@@ -1,0 +1,19 @@
+"""Benchmarks E5/E6 — Theorem 1.7 dichotomies on G1 and G2 (Figure 1)."""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import theorem_1_7
+
+
+def test_bench_dichotomies_g1_g2(benchmark):
+    result = run_experiment_benchmark(benchmark, theorem_1_7.run, scale="small", rng=2024)
+    assert result.passed, "the synchronous/asynchronous dichotomy did not appear"
+
+
+def test_bench_g2_tail_bound(benchmark):
+    rows = benchmark.pedantic(
+        lambda: theorem_1_7.part_iii_rows(n=96, ks=[4, 6, 8], trials=80, rng=7),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(row["within_bound"] for row in rows)

@@ -1,0 +1,4 @@
+"""Setuptools entry point (kept for legacy editable installs in offline environments)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,112 @@
+"""Empirical distribution utilities for spread times.
+
+Theorem 1.7(iii) and the w.h.p. statements of the paper are claims about the
+*tail* of the spread-time distribution, not just its mean.  This module
+provides the small amount of distribution machinery the experiments and tests
+need:
+
+* an empirical CDF / survival function over trial outcomes (timed-out trials
+  count as ``+inf`` and therefore always sit in the tail);
+* comparison of an empirical survival function against an analytic tail bound
+  on a grid of points;
+* a two-sample mean-difference z-score (used by the engine-agreement checks).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class EmpiricalDistribution:
+    """An empirical distribution over (possibly infinite) trial outcomes."""
+
+    samples: Tuple[float, ...]
+
+    def __post_init__(self):
+        require(len(self.samples) > 0, "need at least one sample")
+        object.__setattr__(self, "samples", tuple(sorted(self.samples)))
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "EmpiricalDistribution":
+        """Build a distribution from raw samples (``inf`` allowed)."""
+        return cls(samples=tuple(samples))
+
+    @property
+    def size(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    def cdf(self, value: float) -> float:
+        """Return ``P[X ≤ value]`` under the empirical distribution."""
+        count = sum(1 for sample in self.samples if sample <= value)
+        return count / self.size
+
+    def survival(self, value: float) -> float:
+        """Return ``P[X > value]``; timed-out (infinite) samples always count."""
+        return 1.0 - self.cdf(value)
+
+    def quantile(self, q: float) -> float:
+        """Return the smallest sample ``x`` with ``cdf(x) ≥ q``."""
+        require(0 < q <= 1, f"q must lie in (0, 1], got {q}")
+        index = min(self.size - 1, max(0, math.ceil(q * self.size) - 1))
+        return self.samples[index]
+
+    def finite_mean(self) -> float:
+        """Mean over the finite samples (``inf`` if none are finite)."""
+        finite = [sample for sample in self.samples if math.isfinite(sample)]
+        return statistics.fmean(finite) if finite else math.inf
+
+    def exceeds_tail_bound(
+        self,
+        bound: Callable[[float], float],
+        points: Sequence[float],
+        slack: float = 0.0,
+    ) -> List[Tuple[float, float, float]]:
+        """Return the points where the empirical tail exceeds ``bound`` + ``slack``.
+
+        ``bound(x)`` should return the claimed upper bound on ``P[X > x]``.
+        The return value lists ``(point, empirical_tail, claimed_bound)`` for
+        every violating point; an empty list means the tail bound held
+        everywhere it was checked.
+        """
+        require(len(points) > 0, "need at least one evaluation point")
+        violations = []
+        for point in points:
+            empirical = self.survival(point)
+            claimed = min(1.0, bound(point))
+            if empirical > claimed + slack:
+                violations.append((point, empirical, claimed))
+        return violations
+
+
+def mean_difference_z_score(first: Sequence[float], second: Sequence[float]) -> float:
+    """Two-sample z-score of the difference between two sample means.
+
+    Used to decide whether two engines / variants produce statistically
+    indistinguishable spread times.  Returns 0 when both samples have zero
+    variance and identical means.
+    """
+    require(len(first) >= 2 and len(second) >= 2, "need at least two samples per group")
+    mean_first = statistics.fmean(first)
+    mean_second = statistics.fmean(second)
+    variance_first = statistics.variance(first)
+    variance_second = statistics.variance(second)
+    standard_error = math.sqrt(variance_first / len(first) + variance_second / len(second))
+    if standard_error == 0:
+        return 0.0 if mean_first == mean_second else math.inf
+    return abs(mean_first - mean_second) / standard_error
+
+
+def theorem_1_7_iii_tail(k: float) -> float:
+    """The Theorem 1.7(iii) tail bound ``e^{-k/2} + e^{-k}`` (capped at 1)."""
+    require(k >= 0, "k must be non-negative")
+    return min(1.0, math.exp(-k / 2.0) + math.exp(-k))
+
+
+__all__ = ["EmpiricalDistribution", "mean_difference_z_score", "theorem_1_7_iii_tail"]

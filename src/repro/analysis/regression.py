@@ -1,0 +1,62 @@
+"""Growth-exponent fits for sweep results.
+
+The theorems make order-of-growth claims (``Θ(n)``, ``Θ(log n)``, ``Θ(n²)``,
+``Ω(n/ρ)``, ...).  At finite scale we verify the *shape* by fitting slopes:
+
+* :func:`loglog_slope` — slope of ``log(y)`` against ``log(x)``; ≈ 1 for
+  linear growth, ≈ 2 for quadratic growth, ≈ 0 for polylogarithmic growth.
+* :func:`semilog_slope` — slope of ``y`` against ``log(x)``; finite and stable
+  for ``Θ(log n)`` quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def _least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    require(xs.shape == ys.shape, "x and y series must have equal length")
+    require(xs.size >= 2, "need at least two points to fit a slope")
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return float(slope), float(intercept)
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Return the least-squares slope of ``log y`` versus ``log x``.
+
+    All values must be strictly positive and finite.
+    """
+    require(all(x > 0 and math.isfinite(x) for x in xs), "x values must be positive and finite")
+    require(all(y > 0 and math.isfinite(y) for y in ys), "y values must be positive and finite")
+    slope, _ = _least_squares_slope([math.log(x) for x in xs], [math.log(y) for y in ys])
+    return slope
+
+
+def semilog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Return the least-squares slope of ``y`` versus ``log x``."""
+    require(all(x > 0 and math.isfinite(x) for x in xs), "x values must be positive and finite")
+    require(all(math.isfinite(y) for y in ys), "y values must be finite")
+    slope, _ = _least_squares_slope([math.log(x) for x in xs], list(ys))
+    return slope
+
+
+def ratio_is_bounded(ys: Sequence[float], tolerance: float = 10.0) -> bool:
+    """Return True when ``max(y)/min(y)`` stays below ``tolerance``.
+
+    A cheap check that a quantity is Θ(1) across a sweep.
+    """
+    finite = [y for y in ys if math.isfinite(y)]
+    require(len(finite) > 0, "need at least one finite value")
+    low = min(finite)
+    require(low > 0, "values must be positive")
+    return max(finite) / low <= tolerance
+
+
+__all__ = ["loglog_slope", "semilog_slope", "ratio_is_bounded"]

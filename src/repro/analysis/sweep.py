@@ -1,0 +1,117 @@
+"""Parameter sweeps over dynamic networks and processes.
+
+A sweep runs :func:`repro.analysis.trials.run_trials` at every value of a
+single parameter and collects a table of summary statistics; this is the shape
+of every experiment in the paper's reproduction ("spread time versus ``n``",
+"spread time versus ``ρ``", ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.analysis.trials import DEFAULT_WHP_QUANTILE, TrialSummary, run_trials
+from repro.core.state import SpreadResult
+from repro.dynamics.base import DynamicNetwork
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.validation import require
+
+
+@dataclass
+class SweepPoint:
+    """One row of a sweep: the parameter value, its summary and extra columns."""
+
+    value: Any
+    summary: TrialSummary
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self, parameter_name: str = "value") -> Dict[str, Any]:
+        """Flatten the point into a dict suitable for table rendering."""
+        row: Dict[str, Any] = {parameter_name: self.value}
+        row.update(self.summary.as_dict())
+        row.update(self.extras)
+        return row
+
+
+@dataclass
+class SweepResult:
+    """All rows of a sweep, in the order the parameter values were given."""
+
+    parameter_name: str
+    points: List[SweepPoint]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Return the sweep as a list of flat dictionaries."""
+        return [point.as_row(self.parameter_name) for point in self.points]
+
+    def values(self) -> List[Any]:
+        """The swept parameter values."""
+        return [point.value for point in self.points]
+
+    def series(self, column: str) -> List[float]:
+        """Extract one numeric column across the sweep (e.g. ``"mean"``)."""
+        rows = self.rows()
+        require(all(column in row for row in rows), f"unknown column {column!r}")
+        return [row[column] for row in rows]
+
+
+def sweep(
+    parameter_name: str,
+    values: Sequence[Any],
+    network_factory: Callable[[Any], DynamicNetwork],
+    runner: Callable[..., SpreadResult],
+    trials: int,
+    rng: RngLike = None,
+    source_for: Optional[Callable[[Any, DynamicNetwork], Hashable]] = None,
+    extras_for: Optional[Callable[[Any, TrialSummary], Dict[str, float]]] = None,
+    whp_quantile: float = DEFAULT_WHP_QUANTILE,
+    **run_kwargs,
+) -> SweepResult:
+    """Run a one-dimensional parameter sweep.
+
+    Parameters
+    ----------
+    parameter_name:
+        Name of the swept parameter (used as the first table column).
+    values:
+        Parameter values, swept in order.
+    network_factory:
+        ``value -> DynamicNetwork`` builder called once per trial.
+    runner:
+        Process runner (e.g. ``AsynchronousRumorSpreading().run``).
+    trials:
+        Trials per parameter value.
+    source_for:
+        Optional ``(value, network) -> source`` override; by default each
+        network's :meth:`default_source` is used.
+    extras_for:
+        Optional ``(value, summary) -> dict`` adding derived columns (e.g.
+        theoretical bounds) to each row.
+    """
+    require(len(values) > 0, "sweep requires at least one parameter value")
+    generators = spawn_rngs(rng, len(values))
+    points: List[SweepPoint] = []
+    for value, point_rng in zip(values, generators):
+        def factory(value=value) -> DynamicNetwork:
+            return network_factory(value)
+
+        source = None
+        if source_for is not None:
+            probe_network = network_factory(value)
+            source = source_for(value, probe_network)
+        summary = run_trials(
+            runner,
+            factory,
+            trials=trials,
+            rng=point_rng,
+            source=source,
+            whp_quantile=whp_quantile,
+            **run_kwargs,
+        )
+        extras = extras_for(value, summary) if extras_for is not None else {}
+        points.append(SweepPoint(value=value, summary=summary, extras=extras))
+    return SweepResult(parameter_name=parameter_name, points=points)
+
+
+__all__ = ["SweepPoint", "SweepResult", "sweep"]

@@ -1,0 +1,78 @@
+"""Plain-text table and CSV rendering of experiment results.
+
+Experiments and benchmarks print their output through these helpers so that
+every table in EXPERIMENTS.md has a single canonical format.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.utils.validation import require
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "nan"
+        if value != 0 and (abs(value) >= 10**6 or abs(value) < 10**-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    require(len(rows) > 0, "format_table requires at least one row")
+    if columns is None:
+        # Union of keys across all rows, in order of first appearance, so
+        # heterogeneous row groups (e.g. two parts of one experiment) render.
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = [str(column) for column in columns]
+    body = [[_format_cell(row.get(column, ""), precision) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    buffer = io.StringIO()
+    if title:
+        buffer.write(title + "\n")
+    buffer.write("  ".join(header[i].ljust(widths[i]) for i in range(len(header))).rstrip() + "\n")
+    buffer.write("  ".join("-" * widths[i] for i in range(len(header))) + "\n")
+    for line in body:
+        buffer.write("  ".join(line[i].ljust(widths[i]) for i in range(len(header))).rstrip() + "\n")
+    return buffer.getvalue()
+
+
+def to_csv(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dict rows as CSV text (no quoting; values must be simple)."""
+    require(len(rows) > 0, "to_csv requires at least one row")
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(column) for column in columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            cell = str(value)
+            require("," not in cell and "\n" not in cell, f"cell {cell!r} is not CSV-safe")
+            cells.append(cell)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["format_table", "to_csv"]

@@ -1,0 +1,170 @@
+"""Repeated-trial runner and spread-time statistics.
+
+The paper's statements are "with high probability" statements about the
+spread time; at finite ``n`` we estimate the w.h.p. spread time as an upper
+quantile (by default the 90th percentile) of the empirical distribution over
+independent trials, alongside the mean, median and a normal-approximation
+confidence interval for the mean.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.state import SpreadResult
+from repro.dynamics.base import DynamicNetwork
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.validation import require, require_node_count, require_probability
+
+#: Default quantile used as the finite-n stand-in for the w.h.p. spread time.
+DEFAULT_WHP_QUANTILE = 0.9
+
+
+@dataclass
+class TrialSummary:
+    """Summary statistics of the spread time over repeated trials.
+
+    ``spread_times`` keeps the raw per-trial values (``inf`` for timed-out
+    runs); all statistics are computed over the *completed* trials, and
+    ``completion_rate`` reports how many completed.
+    """
+
+    spread_times: List[float]
+    results: List[SpreadResult] = field(default_factory=list, repr=False)
+    whp_quantile: float = DEFAULT_WHP_QUANTILE
+
+    def __post_init__(self):
+        require(len(self.spread_times) > 0, "TrialSummary needs at least one trial")
+        require_probability(self.whp_quantile, "whp_quantile")
+
+    @property
+    def trials(self) -> int:
+        """Total number of trials."""
+        return len(self.spread_times)
+
+    @property
+    def completed_times(self) -> List[float]:
+        """Spread times of the trials that finished before their time limit."""
+        return [value for value in self.spread_times if math.isfinite(value)]
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of trials that completed."""
+        return len(self.completed_times) / self.trials
+
+    @property
+    def mean(self) -> float:
+        """Mean spread time over completed trials (``inf`` if none completed)."""
+        completed = self.completed_times
+        return statistics.fmean(completed) if completed else math.inf
+
+    @property
+    def median(self) -> float:
+        """Median spread time over completed trials (``inf`` if none completed)."""
+        completed = self.completed_times
+        return statistics.median(completed) if completed else math.inf
+
+    @property
+    def minimum(self) -> float:
+        """Fastest completed trial (``inf`` if none completed)."""
+        completed = self.completed_times
+        return min(completed) if completed else math.inf
+
+    @property
+    def maximum(self) -> float:
+        """Slowest completed trial (``inf`` if none completed)."""
+        completed = self.completed_times
+        return max(completed) if completed else math.inf
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation over completed trials (0 for a single trial)."""
+        completed = self.completed_times
+        if len(completed) < 2:
+            return 0.0
+        return statistics.stdev(completed)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the spread time (timed-out trials count as ``inf``)."""
+        require_probability(q, "q")
+        ordered = sorted(self.spread_times)
+        index = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
+        return ordered[max(index, 0)]
+
+    @property
+    def whp_spread_time(self) -> float:
+        """The finite-n stand-in for the w.h.p. spread time (upper quantile)."""
+        return self.quantile(self.whp_quantile)
+
+    def mean_confidence_interval(self, z: float = 1.96) -> tuple:
+        """Normal-approximation confidence interval for the mean spread time."""
+        completed = self.completed_times
+        if not completed:
+            return (math.inf, math.inf)
+        half_width = z * self.std / math.sqrt(len(completed))
+        centre = self.mean
+        return (centre - half_width, centre + half_width)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the headline statistics (for tables / CSV)."""
+        return {
+            "trials": self.trials,
+            "completion_rate": self.completion_rate,
+            "mean": self.mean,
+            "median": self.median,
+            "whp": self.whp_spread_time,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std,
+        }
+
+
+def run_trials(
+    runner: Callable[..., SpreadResult],
+    network_factory: Callable[[], DynamicNetwork],
+    trials: int,
+    rng: RngLike = None,
+    source: Optional[Hashable] = None,
+    whp_quantile: float = DEFAULT_WHP_QUANTILE,
+    keep_results: bool = False,
+    **run_kwargs,
+) -> TrialSummary:
+    """Run ``trials`` independent runs and summarise their spread times.
+
+    Parameters
+    ----------
+    runner:
+        A bound method such as ``AsynchronousRumorSpreading(...).run`` — any
+        callable accepting ``(network, source=..., rng=..., **run_kwargs)``
+        and returning a :class:`SpreadResult`.
+    network_factory:
+        Zero-argument callable producing a fresh (or reusable — networks are
+        reset per run) dynamic network for each trial.
+    trials:
+        Number of independent runs.
+    rng:
+        Master seed; per-trial generators are derived from it so results are
+        reproducible and independent of ``trials``.
+    keep_results:
+        When True, the full :class:`SpreadResult` objects are retained on the
+        summary (memory heavy for large sweeps).
+    """
+    require_node_count(trials, minimum=1, name="trials")
+    generators = spawn_rngs(rng, trials)
+    spread_times: List[float] = []
+    results: List[SpreadResult] = []
+    for trial_rng in generators:
+        network = network_factory()
+        result = runner(network, source=source, rng=trial_rng, **run_kwargs)
+        spread_times.append(result.spread_time)
+        if keep_results:
+            results.append(result)
+    return TrialSummary(spread_times=spread_times, results=results, whp_quantile=whp_quantile)
+
+
+__all__ = ["DEFAULT_WHP_QUANTILE", "TrialSummary", "run_trials"]

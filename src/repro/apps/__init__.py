@@ -1,0 +1,23 @@
+"""Downstream applications of the asynchronous gossip machinery.
+
+The paper's introduction motivates rumor spreading with its applications; two
+of them are implemented on top of the same dynamic-network substrate so the
+library is usable beyond the headline experiments:
+
+* :mod:`repro.apps.averaging` — randomized gossip averaging (Boyd et al.),
+  where contacted pairs average their values and the network converges to the
+  global mean.
+* :mod:`repro.apps.resource_discovery` — set-union gossip (resource
+  discovery / name spreading), where contacted pairs merge their known
+  resource sets.
+"""
+
+from repro.apps.averaging import AveragingResult, run_gossip_averaging
+from repro.apps.resource_discovery import DiscoveryResult, run_resource_discovery
+
+__all__ = [
+    "AveragingResult",
+    "run_gossip_averaging",
+    "DiscoveryResult",
+    "run_resource_discovery",
+]

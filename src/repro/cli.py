@@ -1,0 +1,179 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands:
+
+``python -m repro list``
+    List the available experiments (E1..E9) with their titles.
+
+``python -m repro experiment E2 --scale small``
+    Run one experiment and print its full report (claim, regenerated table,
+    derived quantities, shape-check verdict).
+
+``python -m repro simulate --network clique --n 100 --trials 10``
+    Run the asynchronous (or synchronous) algorithm on one of the built-in
+    dynamic networks and print spread-time statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.analysis.trials import run_trials
+from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.core.synchronous import SynchronousRumorSpreading
+from repro.core.variants import Variant
+from repro.dynamics.absolute_diligent import AbsolutelyDiligentNetwork
+from repro.dynamics.base import DynamicNetwork
+from repro.dynamics.dichotomy import CliqueBridgeNetwork, DynamicStarNetwork
+from repro.dynamics.diligent import DiligentDynamicNetwork
+from repro.dynamics.edge_markovian import EdgeMarkovianNetwork
+from repro.dynamics.mobile_agents import MobileAgentsNetwork
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.generators import clique, cycle, random_regular_expander, star
+
+
+def _network_factories(args: argparse.Namespace) -> Dict[str, Callable[[], DynamicNetwork]]:
+    """Built-in network constructors keyed by the ``--network`` choice."""
+    n = args.n
+    rho = args.rho
+    return {
+        "clique": lambda: StaticDynamicNetwork(clique(range(n))),
+        "star": lambda: StaticDynamicNetwork(star(0, range(1, n))),
+        "cycle": lambda: StaticDynamicNetwork(cycle(range(n))),
+        "expander": lambda: StaticDynamicNetwork(
+            random_regular_expander(4, range(n), rng=args.seed)
+        ),
+        "dynamic-star": lambda: DynamicStarNetwork(n),
+        "clique-bridge": lambda: CliqueBridgeNetwork(n),
+        "diligent": lambda: DiligentDynamicNetwork(n, rho, rng=args.seed),
+        "absolute-diligent": lambda: AbsolutelyDiligentNetwork(n, rho, rng=args.seed),
+        "edge-markovian": lambda: EdgeMarkovianNetwork(n, args.birth, args.death, rng=args.seed),
+        "mobile-agents": lambda: MobileAgentsNetwork(n, side=args.side, radius=1, rng=args.seed),
+    }
+
+
+NETWORK_CHOICES = (
+    "clique",
+    "star",
+    "cycle",
+    "expander",
+    "dynamic-star",
+    "clique-bridge",
+    "diligent",
+    "absolute-diligent",
+    "edge-markovian",
+    "mobile-agents",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Tight Analysis of Asynchronous Rumor Spreading "
+        "in Dynamic Networks' (Pourmiri & Mans, PODC 2020)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1..E9)")
+    experiment_parser.add_argument("experiment_id", help="experiment id, e.g. E2")
+    experiment_parser.add_argument("--scale", choices=("small", "full"), default="small")
+    experiment_parser.add_argument("--seed", type=int, default=None)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run the rumor spreading algorithm on a built-in network"
+    )
+    simulate_parser.add_argument("--network", choices=NETWORK_CHOICES, default="clique")
+    simulate_parser.add_argument("--n", type=int, default=100, help="number of nodes")
+    simulate_parser.add_argument("--rho", type=float, default=0.25, help="diligence parameter")
+    simulate_parser.add_argument("--birth", type=float, default=0.3, help="edge birth probability")
+    simulate_parser.add_argument("--death", type=float, default=0.3, help="edge death probability")
+    simulate_parser.add_argument("--side", type=int, default=10, help="grid side (mobile agents)")
+    simulate_parser.add_argument("--trials", type=int, default=10)
+    simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.add_argument(
+        "--algorithm", choices=("async", "sync"), default="async",
+        help="asynchronous (continuous time) or synchronous (rounds)",
+    )
+    simulate_parser.add_argument(
+        "--variant", choices=[variant.value for variant in Variant], default="push-pull",
+        help="contact variant for the asynchronous algorithm",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="run every experiment and print a combined markdown report"
+    )
+    report_parser.add_argument("--scale", choices=("small", "full"), default="small")
+    report_parser.add_argument(
+        "--only", nargs="+", default=None, metavar="ID", help="restrict to specific experiment ids"
+    )
+    return parser
+
+
+def _command_list(out) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    rows = []
+    for experiment_id, runner in EXPERIMENTS.items():
+        module = sys.modules[runner.__module__]
+        title = (module.__doc__ or "").strip().splitlines()[0].rstrip(".")
+        rows.append({"id": experiment_id, "module": runner.__module__, "title": title})
+    print(format_table(rows, title="Available experiments (see DESIGN.md section 4)"), file=out)
+    return 0
+
+
+def _command_experiment(args, out) -> int:
+    from repro.experiments.registry import run_experiment
+
+    kwargs = {"scale": args.scale}
+    if args.seed is not None:
+        kwargs["rng"] = args.seed
+    result = run_experiment(args.experiment_id.upper(), **kwargs)
+    print(result.report(), file=out)
+    return 0 if result.passed in (True, None) else 1
+
+
+def _command_simulate(args, out) -> int:
+    factories = _network_factories(args)
+    factory = factories[args.network]
+    if args.algorithm == "sync":
+        runner = SynchronousRumorSpreading().run
+    else:
+        runner = AsynchronousRumorSpreading(variant=Variant(args.variant)).run
+    summary = run_trials(runner, factory, trials=args.trials, rng=args.seed)
+    probe = factory()
+    rows = [dict({"network": args.network, "nodes": probe.n}, **summary.as_dict())]
+    unit = "rounds" if args.algorithm == "sync" else "time"
+    print(
+        format_table(rows, title=f"{args.algorithm} spread {unit} over {args.trials} trials"),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = sys.stdout if out is None else out
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list(out)
+    if args.command == "experiment":
+        return _command_experiment(args, out)
+    if args.command == "simulate":
+        return _command_simulate(args, out)
+    if args.command == "report":
+        from repro.experiments.reporting import build_report
+
+        print(build_report(scale=args.scale, experiment_ids=args.only), file=out)
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+__all__ = ["build_parser", "main", "NETWORK_CHOICES"]

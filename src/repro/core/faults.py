@@ -1,0 +1,80 @@
+"""Fault injection for the rumor spreading processes.
+
+The introduction of the paper motivates randomized rumor spreading with its
+robustness to node and link failures.  This module lets any simulator run
+under two simple fault models:
+
+* **message drops** — every contact independently fails with probability
+  ``drop_probability``.  For the asynchronous process this is a thinning of
+  the underlying Poisson processes, so the boundary engine implements it
+  exactly by scaling every crossing-edge rate by ``1 - drop_probability``.
+* **node crashes** — nodes listed in ``crashed_nodes`` (or whose crash time in
+  ``crash_times`` has passed) neither initiate nor answer contacts.  A run is
+  considered complete when every *surviving* node is informed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional
+
+from repro.utils.validation import require_non_negative, require_probability
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Description of the faults injected into a run.
+
+    Attributes
+    ----------
+    drop_probability:
+        Probability that any single contact is lost.
+    crashed_nodes:
+        Nodes that are down for the whole run.
+    crash_times:
+        Mapping node → time at which that node crashes (it behaves normally
+        before that time).  Times are continuous for asynchronous runs and
+        round indices for synchronous runs.
+    """
+
+    drop_probability: float = 0.0
+    crashed_nodes: FrozenSet[Hashable] = frozenset()
+    crash_times: Mapping[Hashable, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        require_probability(self.drop_probability, "drop_probability")
+        object.__setattr__(self, "crashed_nodes", frozenset(self.crashed_nodes))
+        for node, time in self.crash_times.items():
+            require_non_negative(time, f"crash time of node {node!r}")
+
+    @classmethod
+    def none(cls) -> "FaultModel":
+        """The fault-free model (the default everywhere)."""
+        return cls()
+
+    @property
+    def has_faults(self) -> bool:
+        """True when the model injects any fault at all."""
+        return (
+            self.drop_probability > 0
+            or len(self.crashed_nodes) > 0
+            or len(self.crash_times) > 0
+        )
+
+    def delivery_probability(self) -> float:
+        """Probability that a single contact succeeds."""
+        return 1.0 - self.drop_probability
+
+    def is_down(self, node: Hashable, time: float) -> bool:
+        """Return True when ``node`` is crashed at ``time``."""
+        if node in self.crashed_nodes:
+            return True
+        crash_time = self.crash_times.get(node)
+        return crash_time is not None and time >= crash_time
+
+    def active_nodes(self, nodes: Iterable[Hashable], time: float) -> FrozenSet[Hashable]:
+        """Return the subset of ``nodes`` that are up at ``time``."""
+        return frozenset(node for node in nodes if not self.is_down(node, time))
+
+
+__all__ = ["FaultModel"]

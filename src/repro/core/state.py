@@ -1,0 +1,84 @@
+"""Run results shared by every rumor-spreading process in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+@dataclass
+class SpreadResult:
+    """Outcome of one rumor-spreading run.
+
+    Attributes
+    ----------
+    spread_time:
+        The (continuous or round-valued) time at which the last reachable node
+        became informed; ``inf`` when the run hit its time limit first.
+    informed_times:
+        Mapping from node to the time it became informed.  The source is
+        recorded at time 0.  Nodes never informed are absent.
+    completed:
+        True when every target node was informed before the time limit.
+    n:
+        Number of nodes in the network.
+    steps_used:
+        Number of discrete snapshots the run consumed (i.e. ``⌈spread_time⌉``
+        for asynchronous runs, the round count for synchronous runs).
+    source:
+        The node the rumor started at.
+    synchronous:
+        True for round-based runs (spread_time counts rounds), False for
+        continuous-time runs.
+    events:
+        Number of elementary simulation events processed (informing contacts
+        for the boundary engine, clock ticks for the naive engine, node-round
+        contacts for synchronous runs).  Useful for performance accounting.
+    """
+
+    spread_time: float
+    informed_times: Dict[Hashable, float]
+    completed: bool
+    n: int
+    steps_used: int
+    source: Hashable
+    synchronous: bool = False
+    events: int = 0
+
+    @property
+    def informed_count(self) -> int:
+        """Number of nodes that learned the rumor during the run."""
+        return len(self.informed_times)
+
+    def informed_at(self, time: float) -> int:
+        """Return how many nodes were informed by (continuous/round) ``time``."""
+        return sum(1 for value in self.informed_times.values() if value <= time)
+
+    def informing_order(self) -> List[Tuple[Hashable, float]]:
+        """Return ``(node, time)`` pairs sorted by informing time."""
+        return sorted(self.informed_times.items(), key=lambda item: (item[1], str(item[0])))
+
+    def time_to_fraction(self, fraction: float) -> Optional[float]:
+        """Return the first time at which ``fraction`` of all nodes were informed.
+
+        Returns ``None`` when the run never reached that fraction.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+        target = max(1, int(round(fraction * self.n)))
+        ordered = self.informing_order()
+        if len(ordered) < target:
+            return None
+        return ordered[target - 1][1]
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the run."""
+        status = "completed" if self.completed else "TIMED OUT"
+        kind = "rounds" if self.synchronous else "time"
+        return (
+            f"{status}: {self.informed_count}/{self.n} informed, "
+            f"spread {kind} = {self.spread_time:.3f}, steps = {self.steps_used}"
+        )
+
+
+__all__ = ["SpreadResult"]

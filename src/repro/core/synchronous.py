@@ -1,0 +1,159 @@
+"""The synchronous rumor spreading algorithm on dynamic networks.
+
+The synchronous push–pull algorithm proceeds in rounds ``t = 0, 1, ...``
+aligned with the graph dynamics: at the beginning of round ``t`` the snapshot
+``G(t)`` is exposed, every node simultaneously contacts a uniformly random
+neighbour, and the rumor is exchanged based on the nodes' knowledge *at the
+beginning of the round* (the paper's Section 6 relies on this convention —
+"any action is allowed to be taken at the beginning of each round", which is
+what makes ``Ts(G2) = n`` on the dynamic star).
+
+The spread time ``Ts`` is the number of rounds until every node is informed.
+Flooding — informed nodes informing *all* neighbours every round — is included
+as the deterministic baseline used by the related work on Markovian evolving
+graphs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Hashable, Optional, Set
+
+import numpy as np
+
+from repro.core.faults import FaultModel
+from repro.core.state import SpreadResult
+from repro.dynamics.base import DynamicNetwork, SnapshotRecorder
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require, require_positive
+
+
+class SyncVariant(enum.Enum):
+    """Which contacts carry the rumor in a synchronous round."""
+
+    PUSH_PULL = "push-pull"
+    PUSH = "push"
+    PULL = "pull"
+    FLOODING = "flooding"
+
+
+def default_round_limit(n: int) -> int:
+    """Default round horizon: comfortably above the universal O(n²) behaviour."""
+    return 4 * n * n + 1000
+
+
+class SynchronousRumorSpreading:
+    """Round-based synchronous push–pull (and variants) on a dynamic network."""
+
+    def __init__(
+        self,
+        variant: SyncVariant = SyncVariant.PUSH_PULL,
+        faults: Optional[FaultModel] = None,
+    ):
+        self.variant = variant
+        self.faults = faults if faults is not None else FaultModel.none()
+
+    def run(
+        self,
+        network: DynamicNetwork,
+        source: Optional[Hashable] = None,
+        rng: RngLike = None,
+        max_rounds: Optional[int] = None,
+        recorder: Optional[SnapshotRecorder] = None,
+    ) -> SpreadResult:
+        """Run the synchronous process once.
+
+        The returned :class:`SpreadResult` has ``synchronous=True`` and its
+        ``spread_time`` / ``informed_times`` count rounds: a node informed
+        during round ``t`` (i.e. between exposing ``G(t)`` and ``G(t+1)``) is
+        recorded at time ``t + 1``.
+        """
+        gen = ensure_rng(rng)
+        source = network.default_source() if source is None else source
+        require(source in set(network.nodes), f"source {source!r} is not a node of the network")
+        limit = default_round_limit(network.n) if max_rounds is None else max_rounds
+        require_positive(limit, "max_rounds")
+
+        network.reset(gen)
+        informed: Set[Hashable] = {source}
+        informed_times: Dict[Hashable, float] = {source: 0.0}
+        nodes = list(network.nodes)
+        events = 0
+
+        def down(node: Hashable, round_index: int) -> bool:
+            return self.faults.is_down(node, float(round_index))
+
+        def targets_remaining(round_index: int) -> int:
+            return sum(
+                1 for node in nodes if node not in informed and not down(node, round_index)
+            )
+
+        round_index = 0
+        while targets_remaining(round_index) > 0 and round_index < limit:
+            graph = network.graph_for_step(round_index, informed)
+            if recorder is not None:
+                recorder.record(network, round_index, graph, len(informed))
+            snapshot_informed = set(informed)
+            newly: Set[Hashable] = set()
+
+            if self.variant is SyncVariant.FLOODING:
+                for u in snapshot_informed:
+                    if down(u, round_index) or u not in graph:
+                        continue
+                    for v in graph.neighbors(u):
+                        if v in snapshot_informed or down(v, round_index):
+                            continue
+                        events += 1
+                        if self._delivered(gen):
+                            newly.add(v)
+            else:
+                for u in nodes:
+                    if down(u, round_index):
+                        continue
+                    neighbours = list(graph.neighbors(u)) if u in graph else []
+                    if not neighbours:
+                        continue
+                    events += 1
+                    v = neighbours[int(gen.integers(0, len(neighbours)))]
+                    if down(v, round_index):
+                        continue
+                    if not self._delivered(gen):
+                        continue
+                    u_knows = u in snapshot_informed
+                    v_knows = v in snapshot_informed
+                    if u_knows == v_knows:
+                        continue
+                    if self.variant is SyncVariant.PUSH and u_knows:
+                        newly.add(v)
+                    elif self.variant is SyncVariant.PULL and v_knows:
+                        newly.add(u)
+                    elif self.variant is SyncVariant.PUSH_PULL:
+                        newly.add(v if u_knows else u)
+
+            round_index += 1
+            for node in newly:
+                if node not in informed:
+                    informed.add(node)
+                    informed_times[node] = float(round_index)
+
+        completed = targets_remaining(round_index) == 0
+        spread_time = max(informed_times.values()) if completed else math.inf
+        return SpreadResult(
+            spread_time=spread_time,
+            informed_times=informed_times,
+            completed=completed,
+            n=network.n,
+            steps_used=round_index,
+            source=source,
+            synchronous=True,
+            events=events,
+        )
+
+    def _delivered(self, gen: np.random.Generator) -> bool:
+        if self.faults.drop_probability <= 0:
+            return True
+        return gen.random() >= self.faults.drop_probability
+
+
+__all__ = ["SynchronousRumorSpreading", "SyncVariant", "default_round_limit"]

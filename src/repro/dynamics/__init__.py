@@ -1,0 +1,53 @@
+"""Dynamic evolving networks ``G = {G(t)}_{t≥0}``.
+
+The paper's model exposes an arbitrary graph on a fixed node set at every
+discrete time step; the rumor propagates in continuous time in between.  The
+adversary choosing ``G(t+1)`` may be *adaptive* — the constructions of
+Theorems 1.2, 1.5 and 1.7(ii) inspect the informed set at the step boundary —
+so the interface hands the current informed set to the network.
+
+Contents:
+
+* :mod:`repro.dynamics.base` — the :class:`DynamicNetwork` interface and the
+  snapshot-recording machinery used by the bounds.
+* :mod:`repro.dynamics.sequences` — oblivious networks: a static graph viewed
+  as dynamic, explicit finite sequences, periodic alternation, callables.
+* :mod:`repro.dynamics.diligent` — the Θ(ρ)-diligent family of Theorem 1.2.
+* :mod:`repro.dynamics.absolute_diligent` — the absolutely Θ(ρ)-diligent
+  family of Theorem 1.5.
+* :mod:`repro.dynamics.dichotomy` — ``G1`` and ``G2`` of Figure 1 /
+  Theorem 1.7.
+* :mod:`repro.dynamics.edge_markovian` — the edge-Markovian evolving graphs of
+  Clementi et al. (related work baseline).
+* :mod:`repro.dynamics.mobile_agents` — random-walk mobile agents on a grid
+  with proximity-based communication (related work baseline).
+"""
+
+from repro.dynamics.base import DynamicNetwork, RecordedStep, SnapshotRecorder
+from repro.dynamics.sequences import (
+    CallableDynamicNetwork,
+    ExplicitSequenceNetwork,
+    PeriodicSequenceNetwork,
+    StaticDynamicNetwork,
+)
+from repro.dynamics.diligent import DiligentDynamicNetwork
+from repro.dynamics.absolute_diligent import AbsolutelyDiligentNetwork
+from repro.dynamics.dichotomy import CliqueBridgeNetwork, DynamicStarNetwork
+from repro.dynamics.edge_markovian import EdgeMarkovianNetwork
+from repro.dynamics.mobile_agents import MobileAgentsNetwork
+
+__all__ = [
+    "DynamicNetwork",
+    "RecordedStep",
+    "SnapshotRecorder",
+    "CallableDynamicNetwork",
+    "ExplicitSequenceNetwork",
+    "PeriodicSequenceNetwork",
+    "StaticDynamicNetwork",
+    "DiligentDynamicNetwork",
+    "AbsolutelyDiligentNetwork",
+    "CliqueBridgeNetwork",
+    "DynamicStarNetwork",
+    "EdgeMarkovianNetwork",
+    "MobileAgentsNetwork",
+]

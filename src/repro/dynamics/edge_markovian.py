@@ -1,0 +1,115 @@
+"""Edge-Markovian evolving graphs (Clementi et al., related work baseline).
+
+In the edge-Markovian model each potential edge evolves as an independent
+two-state Markov chain: a non-edge is *born* with probability ``p`` at each
+step and an existing edge *dies* with probability ``q``.  The paper's related
+work (Section 1.2) cites the result that the push algorithm finishes in
+``O(log n)`` rounds when ``p = Ω(1/n)`` and ``q`` is constant; we include the
+model as a realistic random dynamic substrate for exercising Theorem 1.1's
+bound on networks that are neither static nor adversarial.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.dynamics.base import DynamicNetwork
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require, require_node_count, require_probability
+
+
+class EdgeMarkovianNetwork(DynamicNetwork):
+    """A dynamic network whose edges flip on and off as independent Markov chains.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (labelled ``0..n-1``).
+    birth_probability:
+        Probability ``p`` that a currently absent edge appears at the next step.
+    death_probability:
+        Probability ``q`` that a currently present edge disappears at the next
+        step.
+    initial_graph:
+        Snapshot at ``t = 0``.  Defaults to a sample from the stationary
+        distribution, an Erdős–Rényi graph with edge probability
+        ``p / (p + q)``.
+    rng:
+        Seed / generator.  ``reset`` derives a per-run generator, so repeated
+        runs see independent trajectories unless seeded explicitly.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        birth_probability: float,
+        death_probability: float,
+        initial_graph: Optional[nx.Graph] = None,
+        rng: RngLike = None,
+    ):
+        require_node_count(n, minimum=2)
+        require_probability(birth_probability, "birth_probability")
+        require_probability(death_probability, "death_probability")
+        require(
+            birth_probability + death_probability > 0,
+            "birth_probability and death_probability cannot both be zero",
+        )
+        super().__init__(list(range(n)))
+        self.birth_probability = birth_probability
+        self.death_probability = death_probability
+        self._initial_graph = None
+        if initial_graph is not None:
+            require(
+                set(initial_graph.nodes()) == set(self.nodes),
+                "initial_graph must be on nodes 0..n-1",
+            )
+            self._initial_graph = initial_graph.copy()
+        self._base_rng = ensure_rng(rng)
+        self._run_rng = None
+        self._current: Optional[nx.Graph] = None
+
+    def stationary_edge_probability(self) -> float:
+        """Return the stationary probability ``p / (p + q)`` of an edge existing."""
+        return self.birth_probability / (self.birth_probability + self.death_probability)
+
+    def _on_reset(self, rng) -> None:
+        self._run_rng = rng
+        self._current = None
+
+    def _sample_initial(self) -> nx.Graph:
+        if self._initial_graph is not None:
+            return self._initial_graph.copy()
+        probability = self.stationary_edge_probability()
+        seed = int(self._run_rng.integers(0, 2**32 - 1))
+        graph = nx.gnp_random_graph(self.n, probability, seed=seed)
+        return graph
+
+    def _evolve(self, graph: nx.Graph) -> nx.Graph:
+        nxt = nx.Graph()
+        nxt.add_nodes_from(self.nodes)
+        nodes = list(self.nodes)
+        rng = self._run_rng
+        p = self.birth_probability
+        q = self.death_probability
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                if graph.has_edge(u, v):
+                    if rng.random() >= q:
+                        nxt.add_edge(u, v)
+                else:
+                    if rng.random() < p:
+                        nxt.add_edge(u, v)
+        return nxt
+
+    def _build_step(self, t: int, informed: frozenset) -> nx.Graph:
+        if t == 0 or self._current is None:
+            self._current = self._sample_initial()
+        else:
+            self._current = self._evolve(self._current)
+        return self._current
+
+
+__all__ = ["EdgeMarkovianNetwork"]

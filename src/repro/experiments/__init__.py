@@ -1,0 +1,17 @@
+"""Experiments reproducing every quantitative claim of the paper.
+
+Each module exposes ``run(scale="small", rng=...) -> ExperimentResult`` and is
+wired to one benchmark in ``benchmarks/``; the registry maps experiment ids
+(E1..E9, matching DESIGN.md's experiment index) to their runners.
+
+The paper is a theory paper — its "tables and figures" are the theorem
+statements plus the two constructions of Figure 1 — so each experiment
+validates the *shape* of a theorem by simulation: upper bounds hold on every
+run, lower-bound constructions grow at the predicted rate, and the
+synchronous/asynchronous dichotomies point in the stated directions.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment", "run_experiment"]

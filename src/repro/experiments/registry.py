@@ -1,0 +1,58 @@
+"""Registry mapping DESIGN.md experiment ids to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    engine_validation,
+    lemma_4_2,
+    related_work,
+    theorem_1_1,
+    theorem_1_2,
+    theorem_1_3,
+    theorem_1_5,
+    theorem_1_7,
+)
+from repro.experiments.result import ExperimentResult
+from repro.utils.validation import require
+
+#: Experiment id → runner.  E5 and E6 share a runner (both halves of Theorem 1.7).
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": theorem_1_1.run,
+    "E2": theorem_1_2.run,
+    "E3": theorem_1_3.run,
+    "E4": theorem_1_5.run,
+    "E5": theorem_1_7.run,
+    "E6": theorem_1_7.run,
+    "E7": related_work.run,
+    "E8": lemma_4_2.run,
+    "E9": engine_validation.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Return the runner for ``experiment_id`` (raising on unknown ids)."""
+    require(experiment_id in EXPERIMENTS, f"unknown experiment id {experiment_id!r}; "
+            f"known ids: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[experiment_id]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id, forwarding keyword arguments to its runner."""
+    return get_experiment(experiment_id)(**kwargs)
+
+
+def run_all(scale: str = "small") -> Dict[str, ExperimentResult]:
+    """Run every distinct experiment once and return results keyed by id."""
+    results: Dict[str, ExperimentResult] = {}
+    seen_runners = set()
+    for experiment_id, runner in EXPERIMENTS.items():
+        if runner in seen_runners:
+            continue
+        seen_runners.add(runner)
+        results[experiment_id] = runner(scale=scale)
+    return results
+
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "run_all"]

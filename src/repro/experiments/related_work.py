@@ -1,0 +1,105 @@
+"""Experiment E7 — comparison against the Giakkoupis–Sauerwald–Stauffer bound.
+
+Section 1.2 of the paper argues that the earlier synchronous bound of [17],
+
+    ``min{t : Σ_p Φ(G(p)) = Ω(M(G) log n)}``  with  ``M(G) = max_u Δ_u/δ_u``,
+
+can be a factor Θ(n) above the true spread time on sequences whose degree
+distribution swings wildly but harmlessly — the canonical example being a
+3-regular expander alternating with the complete graph, for which
+``M(G) = (n−1)/3`` while every snapshot is 1-diligent.  Theorem 1.1's
+diligence-based bound stays at ``O(log n)`` on the same sequence.
+
+The experiment measures the actual asynchronous and synchronous spread times
+on that alternating sequence and tabulates both bounds, checking that the [17]
+budget is ~``n/3`` times larger than the Theorem 1.1 budget and that the
+measured times track the latter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.analysis.trials import run_trials
+from repro.bounds.giakkoupis import giakkoupis_bound
+from repro.bounds.theorems import conductance_diligence_bound, theorem_1_1_threshold
+from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.core.synchronous import SynchronousRumorSpreading
+from repro.dynamics.base import SnapshotRecorder
+from repro.experiments.result import ExperimentResult
+from repro.experiments.standard_networks import alternating_regular_complete_network
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+def run(scale: str = "small", rng: RngLike = 2026, c: float = 1.0) -> ExperimentResult:
+    """Run experiment E7 and return its :class:`ExperimentResult`."""
+    if scale == "small":
+        sizes = [32, 64]
+        trials = 5
+    else:
+        sizes = [64, 128, 256]
+        trials = 15
+
+    async_process = AsynchronousRumorSpreading()
+    sync_process = SynchronousRumorSpreading()
+    seeds = spawn_rngs(rng, 3)
+    rows: List[Dict] = []
+
+    for n in sizes:
+        factory = lambda n=n: alternating_regular_complete_network(n, rng=7)
+        async_summary = run_trials(async_process.run, factory, trials=trials, rng=seeds[0])
+        sync_summary = run_trials(sync_process.run, factory, trials=trials, rng=seeds[1])
+
+        # Evaluate both bounds on a realised snapshot sequence long enough for
+        # the slower budget (Theorem 1.1's, with its explicit constant C) to
+        # be reached.  Analytic per-step metrics are attached to the network,
+        # so recording thousands of steps is cheap.
+        network = factory()
+        recorder = SnapshotRecorder(mode="cheap")
+        network.reset(seeds[2])
+        min_per_step_budget = 0.2  # the regular snapshot's Phi * rho
+        horizon = int(math.ceil(theorem_1_1_threshold(n, c) / min_per_step_budget)) + 10
+        for step in range(horizon):
+            graph = network.graph_for_step(step, frozenset())
+            recorder.record(network, step, graph, informed_count=1)
+        ours = conductance_diligence_bound(
+            recorder.conductance_series(), recorder.diligence_series(), n, c
+        )
+        theirs = giakkoupis_bound(recorder.conductance_series(), recorder.degree_history, n)
+        rows.append(
+            {
+                "n": n,
+                "async_measured_mean": async_summary.mean,
+                "sync_measured_mean": sync_summary.mean,
+                "bound_thm_1_1": ours.bound,
+                "bound_giakkoupis": theirs.bound,
+                "giakkoupis_over_thm_1_1_threshold": theirs.threshold / ours.threshold,
+                "M(G)": (n - 1) / 3.0,
+            }
+        )
+
+    # Shape check: the [17] budget grows linearly in n relative to ours, and
+    # the measured asynchronous spread time stays polylogarithmic.
+    ratio_growth = [row["giakkoupis_over_thm_1_1_threshold"] for row in rows]
+    measured = [row["async_measured_mean"] for row in rows]
+    passed = (
+        all(b > a for a, b in zip(ratio_growth, ratio_growth[1:]))
+        and all(value < 10 * math.log(row["n"]) for value, row in zip(measured, rows))
+    )
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Section 1.2: Theorem 1.1 vs the degree-variation bound of Giakkoupis et al.",
+        claim=(
+            "On the alternating 3-regular / complete sequence the [17] bound carries an "
+            "M(G) = Theta(n) factor while the diligence-based Theorem 1.1 bound and the "
+            "measured spread time stay polylogarithmic."
+        ),
+        rows=rows,
+        derived={"threshold_ratio_at_max_n": ratio_growth[-1]},
+        passed=passed,
+        notes=f"scale={scale}, trials per point={trials}",
+    )
+
+
+__all__ = ["run"]

@@ -1,0 +1,87 @@
+"""Combined reporting across all experiments.
+
+``build_report`` runs every distinct experiment once and renders a single
+markdown document (claim, regenerated table, derived quantities and verdict
+per experiment) — the programmatic way to regenerate the content summarised in
+EXPERIMENTS.md.  It is exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.result import ExperimentResult
+from repro.utils.validation import require
+
+
+def distinct_experiment_ids() -> Sequence[str]:
+    """Experiment ids with duplicates (shared runners, e.g. E5/E6) removed."""
+    seen = set()
+    ids = []
+    for experiment_id, runner in EXPERIMENTS.items():
+        if runner in seen:
+            continue
+        seen.add(runner)
+        ids.append(experiment_id)
+    return ids
+
+
+def render_markdown(results: Dict[str, ExperimentResult]) -> str:
+    """Render experiment results as one markdown document."""
+    require(len(results) > 0, "no experiment results to render")
+    lines = ["# Reproduction report", ""]
+    passed = sum(1 for result in results.values() if result.passed)
+    checked = sum(1 for result in results.values() if result.passed is not None)
+    lines.append(f"Shape checks passed: **{passed} / {checked}**")
+    lines.append("")
+    for experiment_id in sorted(results):
+        result = results[experiment_id]
+        lines.append(f"## {result.experiment_id} — {result.title}")
+        lines.append("")
+        lines.append(f"*Claim.* {result.claim}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.table().rstrip())
+        lines.append("```")
+        if result.derived:
+            lines.append("")
+            derived = ", ".join(
+                f"{key} = {value:.4g}" if isinstance(value, float) else f"{key} = {value}"
+                for key, value in result.derived.items()
+            )
+            lines.append(f"*Derived:* {derived}")
+        if result.passed is not None:
+            lines.append("")
+            lines.append(f"*Shape check:* {'PASS' if result.passed else 'FAIL'}")
+        if result.notes:
+            lines.append("")
+            lines.append(f"*Notes:* {result.notes}")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def build_report(
+    scale: str = "small",
+    experiment_ids: Optional[Sequence[str]] = None,
+    rng_offset: int = 0,
+) -> str:
+    """Run the requested experiments (all by default) and render the report.
+
+    ``rng_offset`` is added to each experiment's default seed path by passing
+    it as the seed, so repeated report builds can be made independent.
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else list(distinct_experiment_ids())
+    require(len(ids) > 0, "no experiments requested")
+    results: Dict[str, ExperimentResult] = {}
+    for index, experiment_id in enumerate(ids):
+        runner = EXPERIMENTS.get(experiment_id.upper())
+        require(runner is not None, f"unknown experiment id {experiment_id!r}")
+        kwargs = {"scale": scale}
+        if rng_offset:
+            kwargs["rng"] = 1000 * (index + 1) + rng_offset
+        results[experiment_id.upper()] = runner(**kwargs)
+    return render_markdown(results)
+
+
+__all__ = ["build_report", "distinct_experiment_ids", "render_markdown"]

@@ -1,0 +1,64 @@
+"""Common result container for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.utils.validation import require
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one reproduction experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        DESIGN.md experiment id (``"E1"`` .. ``"E9"``).
+    title:
+        Short human-readable title.
+    claim:
+        The paper claim being validated (quoted / paraphrased).
+    rows:
+        The regenerated table: one dict per row.
+    derived:
+        Scalar quantities derived from the rows (fitted slopes, max ratios,
+        pass/fail margins) used by tests and EXPERIMENTS.md.
+    passed:
+        Overall shape-check verdict for the experiment (None if the experiment
+        is purely descriptive).
+    notes:
+        Free-form remarks (scale used, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    rows: List[Dict[str, Any]]
+    derived: Dict[str, float] = field(default_factory=dict)
+    passed: Optional[bool] = None
+    notes: str = ""
+
+    def table(self, columns: Optional[Sequence[str]] = None, precision: int = 3) -> str:
+        """Render the regenerated table as text."""
+        require(len(self.rows) > 0, "experiment produced no rows")
+        return format_table(self.rows, columns=columns, precision=precision, title=self.title)
+
+    def report(self) -> str:
+        """Full text report: claim, table, derived quantities and verdict."""
+        lines = [f"[{self.experiment_id}] {self.title}", f"Claim: {self.claim}", ""]
+        lines.append(self.table())
+        if self.derived:
+            lines.append("Derived:")
+            for key, value in self.derived.items():
+                lines.append(f"  {key} = {value:.4g}" if isinstance(value, float) else f"  {key} = {value}")
+        if self.passed is not None:
+            lines.append(f"Shape check: {'PASS' if self.passed else 'FAIL'}")
+        if self.notes:
+            lines.append(f"Notes: {self.notes}")
+        return "\n".join(lines) + "\n"
+
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,18 @@
+"""Shared utilities: random number generation helpers and input validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    require,
+    require_node_count,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "require",
+    "require_node_count",
+    "require_positive",
+    "require_probability",
+]

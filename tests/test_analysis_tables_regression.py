@@ -1,0 +1,97 @@
+"""Unit tests for table rendering and growth-exponent fits."""
+
+import math
+
+import pytest
+
+from repro.analysis.regression import loglog_slope, ratio_is_bounded, semilog_slope
+from repro.analysis.tables import format_table, to_csv
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "10" in lines[3]
+
+    def test_title_is_prepended(self):
+        text = format_table([{"x": 1}], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0].split()
+        assert header == ["c", "a"]
+
+    def test_heterogeneous_rows_use_union_of_keys(self):
+        rows = [{"a": 1}, {"b": 2}]
+        header = format_table(rows).splitlines()[0].split()
+        assert header == ["a", "b"]
+
+    def test_special_float_values(self):
+        text = format_table([{"x": math.inf, "y": math.nan, "z": 1e-9}])
+        assert "inf" in text
+        assert "nan" in text
+        assert "e-09" in text
+
+    def test_booleans_render_as_yes_no(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+
+class TestToCsv:
+    def test_basic_csv(self):
+        text = to_csv([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_unsafe_cells_rejected(self):
+        with pytest.raises(ValueError):
+            to_csv([{"a": "has,comma"}])
+
+
+class TestRegression:
+    def test_linear_growth_has_slope_one(self):
+        xs = [10, 20, 40, 80]
+        ys = [3 * x for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(1.0, abs=1e-9)
+
+    def test_quadratic_growth_has_slope_two(self):
+        xs = [10, 20, 40, 80]
+        ys = [0.5 * x * x for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(2.0, abs=1e-9)
+
+    def test_logarithmic_growth_has_small_loglog_slope(self):
+        xs = [2**k for k in range(4, 12)]
+        ys = [math.log(x) for x in xs]
+        assert loglog_slope(xs, ys) < 0.35
+
+    def test_semilog_slope_of_logarithmic_data(self):
+        xs = [2**k for k in range(4, 12)]
+        ys = [5 * math.log(x) + 1 for x in xs]
+        assert semilog_slope(xs, ys) == pytest.approx(5.0, abs=1e-9)
+
+    def test_positive_inputs_required(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, -2], [1, 2])
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2], [0, 2])
+
+    def test_at_least_two_points_required(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_ratio_is_bounded(self):
+        assert ratio_is_bounded([1.0, 2.0, 3.0], tolerance=5.0)
+        assert not ratio_is_bounded([1.0, 100.0], tolerance=5.0)
+        with pytest.raises(ValueError):
+            ratio_is_bounded([0.0, 1.0])

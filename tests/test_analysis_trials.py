@@ -1,0 +1,109 @@
+"""Unit tests for the trial runner and spread-time statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.trials import DEFAULT_WHP_QUANTILE, TrialSummary, run_trials
+from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.generators import clique, path
+
+
+class TestTrialSummary:
+    def test_basic_statistics(self):
+        summary = TrialSummary(spread_times=[1.0, 2.0, 3.0, 4.0])
+        assert summary.trials == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.completion_rate == 1.0
+        assert summary.std > 0
+
+    def test_quantiles(self):
+        summary = TrialSummary(spread_times=[float(i) for i in range(1, 11)])
+        assert summary.quantile(0.5) == 5.0
+        assert summary.quantile(0.9) == 9.0
+        assert summary.quantile(1.0) == 10.0
+        assert summary.whp_spread_time == summary.quantile(DEFAULT_WHP_QUANTILE)
+
+    def test_timed_out_trials_excluded_from_mean(self):
+        summary = TrialSummary(spread_times=[1.0, math.inf, 3.0])
+        assert summary.completion_rate == pytest.approx(2 / 3)
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.maximum == 3.0
+        # The w.h.p. quantile still sees the failures.
+        assert math.isinf(summary.quantile(1.0))
+
+    def test_all_timed_out(self):
+        summary = TrialSummary(spread_times=[math.inf, math.inf])
+        assert summary.completion_rate == 0.0
+        assert math.isinf(summary.mean)
+        assert math.isinf(summary.median)
+
+    def test_confidence_interval_brackets_mean(self):
+        summary = TrialSummary(spread_times=[2.0, 4.0, 6.0, 8.0])
+        low, high = summary.mean_confidence_interval()
+        assert low <= summary.mean <= high
+
+    def test_as_dict_keys(self):
+        summary = TrialSummary(spread_times=[1.0, 2.0])
+        data = summary.as_dict()
+        assert set(data) == {"trials", "completion_rate", "mean", "median", "whp", "min", "max", "std"}
+
+    def test_empty_trials_rejected(self):
+        with pytest.raises(ValueError):
+            TrialSummary(spread_times=[])
+
+    def test_invalid_quantile_rejected(self):
+        summary = TrialSummary(spread_times=[1.0])
+        with pytest.raises(ValueError):
+            summary.quantile(1.5)
+
+
+class TestRunTrials:
+    def test_runs_requested_number_of_trials(self):
+        process = AsynchronousRumorSpreading()
+        summary = run_trials(
+            process.run,
+            lambda: StaticDynamicNetwork(clique(range(8))),
+            trials=6,
+            rng=0,
+        )
+        assert summary.trials == 6
+        assert summary.completion_rate == 1.0
+
+    def test_results_kept_only_on_request(self):
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(clique(range(6)))
+        without = run_trials(process.run, factory, trials=3, rng=0)
+        with_results = run_trials(process.run, factory, trials=3, rng=0, keep_results=True)
+        assert without.results == []
+        assert len(with_results.results) == 3
+
+    def test_reproducible_with_master_seed(self):
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(clique(range(8)))
+        first = run_trials(process.run, factory, trials=4, rng=99)
+        second = run_trials(process.run, factory, trials=4, rng=99)
+        assert first.spread_times == second.spread_times
+
+    def test_run_kwargs_are_forwarded(self):
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(path(range(40)))
+        summary = run_trials(process.run, factory, trials=3, rng=0, max_time=0.1)
+        assert summary.completion_rate == 0.0
+
+    def test_source_override(self):
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(path(range(6)))
+        summary = run_trials(
+            process.run, factory, trials=2, rng=1, source=5, keep_results=True
+        )
+        assert all(result.source == 5 for result in summary.results)
+
+    def test_invalid_trial_count_rejected(self):
+        process = AsynchronousRumorSpreading()
+        with pytest.raises(ValueError):
+            run_trials(process.run, lambda: StaticDynamicNetwork(clique(range(4))), trials=0)

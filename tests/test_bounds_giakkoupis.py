@@ -1,0 +1,47 @@
+"""Unit tests for the Giakkoupis–Sauerwald–Stauffer comparison bound."""
+
+import math
+
+import pytest
+
+from repro.bounds.giakkoupis import giakkoupis_bound, giakkoupis_threshold
+
+
+class TestThreshold:
+    def test_threshold_formula(self):
+        assert giakkoupis_threshold(100, 5.0) == pytest.approx(5.0 * math.log(100))
+        assert giakkoupis_threshold(100, 5.0, constant=2.0) == pytest.approx(10.0 * math.log(100))
+
+    def test_threshold_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            giakkoupis_threshold(1, 5.0)
+        with pytest.raises(ValueError):
+            giakkoupis_threshold(100, 0.0)
+
+
+class TestBound:
+    def test_regular_history_gives_conductance_only_bound(self):
+        n = 64
+        history = {u: [3, 3] for u in range(n)}
+        steps = int(math.ceil(math.log(n) / 0.5)) + 2
+        evaluation = giakkoupis_bound([0.5] * steps, history, n)
+        assert evaluation.reached
+        assert evaluation.threshold == pytest.approx(math.log(n))
+
+    def test_degree_swing_inflates_the_threshold(self):
+        n = 64
+        swing_history = {u: [3, n - 1] for u in range(n)}
+        flat_history = {u: [3, 3] for u in range(n)}
+        swing = giakkoupis_bound([0.5] * 10, swing_history, n)
+        flat = giakkoupis_bound([0.5] * 10, flat_history, n)
+        assert swing.threshold == pytest.approx(flat.threshold * (n - 1) / 3)
+
+    def test_unreached_bound_is_infinite(self):
+        history = {0: [2], 1: [2]}
+        evaluation = giakkoupis_bound([0.01, 0.01], history, 32)
+        assert not evaluation.reached
+        assert math.isinf(evaluation.bound)
+
+    def test_negative_conductance_rejected(self):
+        with pytest.raises(ValueError):
+            giakkoupis_bound([-0.1], {0: [2]}, 16)

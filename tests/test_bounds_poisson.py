@@ -1,0 +1,120 @@
+"""Unit tests for the Poisson process machinery of Section 2."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.poisson import (
+    LEMMA_2_2_EXPONENT,
+    NonHomogeneousPoissonProcess,
+    exponential_race_winner,
+    poisson_lower_tail_bound,
+)
+
+
+class TestLemma22:
+    def test_exponent_is_negative(self):
+        assert LEMMA_2_2_EXPONENT < 0
+
+    def test_bound_decreases_with_rate(self):
+        assert poisson_lower_tail_bound(10) > poisson_lower_tail_bound(100)
+
+    def test_bound_at_zero_is_one(self):
+        assert poisson_lower_tail_bound(0) == pytest.approx(1.0)
+
+    def test_bound_dominates_empirical_tail(self, rng):
+        rate = 40.0
+        samples = rng.poisson(rate, size=20_000)
+        empirical = np.mean(samples <= rate / 2)
+        assert empirical <= poisson_lower_tail_bound(rate) + 0.01
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_lower_tail_bound(-1.0)
+
+
+class TestExponentialRace:
+    def test_single_competitor_always_wins(self):
+        winner, time = exponential_race_winner({"a": 2.0}, rng=0)
+        assert winner == "a"
+        assert time > 0
+
+    def test_zero_rates_are_ignored(self):
+        winner, _ = exponential_race_winner({"a": 0.0, "b": 1.0}, rng=1)
+        assert winner == "b"
+
+    def test_all_zero_rates_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_race_winner({"a": 0.0})
+
+    def test_winner_distribution_is_proportional_to_rate(self, rng):
+        rates = {"fast": 3.0, "slow": 1.0}
+        wins = {"fast": 0, "slow": 0}
+        for _ in range(4000):
+            winner, _ = exponential_race_winner(rates, rng=rng)
+            wins[winner] += 1
+        assert wins["fast"] / 4000 == pytest.approx(0.75, abs=0.03)
+
+    def test_race_time_has_summed_rate(self, rng):
+        rates = {"a": 2.0, "b": 3.0}
+        times = [exponential_race_winner(rates, rng=rng)[1] for _ in range(4000)]
+        assert np.mean(times) == pytest.approx(1 / 5, rel=0.1)
+
+
+class TestNonHomogeneousPoissonProcess:
+    def test_rate_at_uses_piecewise_constant_rates(self):
+        process = NonHomogeneousPoissonProcess([1.0, 2.0, 0.5])
+        assert process.rate_at(0.5) == 1.0
+        assert process.rate_at(1.0) == 2.0
+        assert process.rate_at(2.9) == 0.5
+        assert process.rate_at(10.0) == 0.5  # final rate held
+
+    def test_mean_count_integrates_the_rate(self):
+        process = NonHomogeneousPoissonProcess([1.0, 2.0, 0.5])
+        assert process.mean_count(0, 3) == pytest.approx(3.5)
+        assert process.mean_count(0.5, 1.5) == pytest.approx(0.5 + 1.0)
+        assert process.mean_count(1.0, 1.0) == 0.0
+
+    def test_mean_count_validates_interval(self):
+        process = NonHomogeneousPoissonProcess([1.0])
+        with pytest.raises(ValueError):
+            process.mean_count(2.0, 1.0)
+
+    def test_sample_count_matches_mean(self, rng):
+        process = NonHomogeneousPoissonProcess([2.0, 4.0])
+        counts = [process.sample_count(0, 2, rng=rng) for _ in range(3000)]
+        assert np.mean(counts) == pytest.approx(6.0, rel=0.1)
+
+    def test_sample_arrivals_are_sorted_and_in_range(self, rng):
+        process = NonHomogeneousPoissonProcess([3.0, 1.0])
+        arrivals = process.sample_arrivals(0.0, 2.0, rng=rng)
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= value <= 2.0 for value in arrivals)
+
+    def test_arrival_density_follows_rate(self, rng):
+        process = NonHomogeneousPoissonProcess([4.0, 1.0])
+        first, second = 0, 0
+        for _ in range(500):
+            for value in process.sample_arrivals(0.0, 2.0, rng=rng):
+                if value < 1.0:
+                    first += 1
+                else:
+                    second += 1
+        assert first / max(second, 1) == pytest.approx(4.0, rel=0.25)
+
+    def test_first_time_mean_reaches(self):
+        process = NonHomogeneousPoissonProcess([1.0, 2.0, 2.0])
+        assert process.first_time_mean_reaches(0.0) == 0.0
+        assert process.first_time_mean_reaches(1.0) == pytest.approx(1.0)
+        assert process.first_time_mean_reaches(2.0) == pytest.approx(1.5)
+        # Beyond the listed intervals the final rate (2.0) is held.
+        assert process.first_time_mean_reaches(9.0) == pytest.approx(5.0)
+
+    def test_first_time_mean_reaches_infinite_when_rate_zero(self):
+        process = NonHomogeneousPoissonProcess([1.0, 0.0])
+        assert math.isinf(process.first_time_mean_reaches(5.0))
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            NonHomogeneousPoissonProcess([1.0, -0.5])

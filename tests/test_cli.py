@@ -1,0 +1,96 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import NETWORK_CHOICES, build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_command_parses(self):
+        args = build_parser().parse_args(["experiment", "E8", "--scale", "small", "--seed", "3"])
+        assert args.experiment_id == "E8"
+        assert args.scale == "small"
+        assert args.seed == 3
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.network == "clique"
+        assert args.algorithm == "async"
+        assert args.n == 100
+
+    def test_simulate_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--network", "hypercube"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_all_experiment_ids(self):
+        buffer = io.StringIO()
+        assert main(["list"], out=buffer) == 0
+        text = buffer.getvalue()
+        for experiment_id in ("E1", "E5", "E9"):
+            assert experiment_id in text
+
+    def test_simulate_async_clique(self):
+        buffer = io.StringIO()
+        code = main(
+            ["simulate", "--network", "clique", "--n", "20", "--trials", "3", "--seed", "1"],
+            out=buffer,
+        )
+        assert code == 0
+        assert "mean" in buffer.getvalue()
+
+    def test_simulate_sync_dynamic_star(self):
+        buffer = io.StringIO()
+        code = main(
+            [
+                "simulate",
+                "--network",
+                "dynamic-star",
+                "--n",
+                "15",
+                "--trials",
+                "2",
+                "--algorithm",
+                "sync",
+            ],
+            out=buffer,
+        )
+        assert code == 0
+        assert "rounds" in buffer.getvalue()
+
+    def test_simulate_push_variant(self):
+        buffer = io.StringIO()
+        code = main(
+            ["simulate", "--network", "cycle", "--n", "12", "--trials", "2", "--variant", "push"],
+            out=buffer,
+        )
+        assert code == 0
+
+    def test_experiment_command_runs_lemma_4_2(self):
+        buffer = io.StringIO()
+        code = main(["experiment", "e8", "--scale", "small", "--seed", "5"], out=buffer)
+        assert code == 0
+        assert "Lemma 4.2" in buffer.getvalue()
+
+    def test_every_network_choice_has_a_factory(self):
+        from repro.cli import _network_factories
+
+        args = build_parser().parse_args(
+            ["simulate", "--n", "60", "--rho", "0.25", "--side", "6", "--seed", "0"]
+        )
+        factories = _network_factories(args)
+        assert set(NETWORK_CHOICES) == set(factories)
+        for name in ("clique", "dynamic-star", "edge-markovian"):
+            network = factories[name]()
+            assert network.n >= 1

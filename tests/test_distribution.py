@@ -1,0 +1,83 @@
+"""Unit tests for the empirical distribution utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.distribution import (
+    EmpiricalDistribution,
+    mean_difference_z_score,
+    theorem_1_7_iii_tail,
+)
+
+
+class TestEmpiricalDistribution:
+    def test_cdf_and_survival(self):
+        dist = EmpiricalDistribution.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(2.0) == pytest.approx(0.5)
+        assert dist.survival(2.0) == pytest.approx(0.5)
+        assert dist.cdf(0.5) == 0.0
+        assert dist.survival(10.0) == 0.0
+
+    def test_infinite_samples_stay_in_the_tail(self):
+        dist = EmpiricalDistribution.from_samples([1.0, math.inf, math.inf, 2.0])
+        assert dist.survival(100.0) == pytest.approx(0.5)
+        assert dist.finite_mean() == pytest.approx(1.5)
+
+    def test_quantile(self):
+        dist = EmpiricalDistribution.from_samples([float(i) for i in range(1, 11)])
+        assert dist.quantile(0.1) == 1.0
+        assert dist.quantile(0.5) == 5.0
+        assert dist.quantile(1.0) == 10.0
+        with pytest.raises(ValueError):
+            dist.quantile(0.0)
+
+    def test_samples_are_sorted(self):
+        dist = EmpiricalDistribution.from_samples([3.0, 1.0, 2.0])
+        assert dist.samples == (1.0, 2.0, 3.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_samples([])
+
+    def test_tail_bound_check_passes_when_bound_holds(self):
+        dist = EmpiricalDistribution.from_samples([0.5] * 90 + [5.0] * 10)
+        violations = dist.exceeds_tail_bound(lambda x: 0.2 if x >= 1 else 1.0, points=[1.0, 2.0])
+        assert violations == []
+
+    def test_tail_bound_check_reports_violations(self):
+        dist = EmpiricalDistribution.from_samples([5.0] * 10)
+        violations = dist.exceeds_tail_bound(lambda x: 0.1, points=[1.0])
+        assert len(violations) == 1
+        point, empirical, claimed = violations[0]
+        assert point == 1.0
+        assert empirical == 1.0
+        assert claimed == pytest.approx(0.1)
+
+    def test_tail_bound_slack(self):
+        dist = EmpiricalDistribution.from_samples([5.0] * 10)
+        assert dist.exceeds_tail_bound(lambda x: 0.9, points=[1.0], slack=0.2) == []
+
+
+class TestZScoreAndTail:
+    def test_identical_samples_have_zero_z(self):
+        assert mean_difference_z_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_clearly_different_samples_have_large_z(self):
+        first = [1.0, 1.1, 0.9, 1.05] * 10
+        second = [5.0, 5.1, 4.9, 5.05] * 10
+        assert mean_difference_z_score(first, second) > 10
+
+    def test_zero_variance_distinct_means(self):
+        assert math.isinf(mean_difference_z_score([1.0, 1.0], [2.0, 2.0]))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            mean_difference_z_score([1.0], [1.0, 2.0])
+
+    def test_theorem_1_7_iii_tail(self):
+        assert theorem_1_7_iii_tail(0.0) == 1.0
+        assert theorem_1_7_iii_tail(4.0) == pytest.approx(math.exp(-2) + math.exp(-4))
+        assert theorem_1_7_iii_tail(20.0) < 1e-4
+        with pytest.raises(ValueError):
+            theorem_1_7_iii_tail(-1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the edge-Markovian evolving graph model."""
+
+import networkx as nx
+import pytest
+
+from repro.dynamics.edge_markovian import EdgeMarkovianNetwork
+from repro.graphs.generators import clique, path
+
+
+class TestConstruction:
+    def test_basic_parameters(self):
+        network = EdgeMarkovianNetwork(10, 0.2, 0.3)
+        assert network.n == 10
+        assert network.stationary_edge_probability() == pytest.approx(0.4)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            EdgeMarkovianNetwork(10, -0.1, 0.5)
+        with pytest.raises(ValueError):
+            EdgeMarkovianNetwork(10, 0.5, 1.5)
+        with pytest.raises(ValueError):
+            EdgeMarkovianNetwork(10, 0.0, 0.0)
+
+    def test_explicit_initial_graph_is_used(self):
+        initial = path(range(8))
+        network = EdgeMarkovianNetwork(8, 0.0, 0.0001, initial_graph=initial)
+        network.reset(0)
+        snapshot = network.graph_for_step(0, frozenset())
+        assert set(snapshot.edges()) == set(initial.edges())
+
+    def test_initial_graph_node_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeMarkovianNetwork(8, 0.1, 0.1, initial_graph=path(range(5)))
+
+
+class TestEvolution:
+    def test_death_probability_one_empties_the_graph(self):
+        network = EdgeMarkovianNetwork(8, 0.0, 1.0, initial_graph=clique(range(8)))
+        network.reset(0)
+        network.graph_for_step(0, frozenset())
+        second = network.graph_for_step(1, frozenset())
+        assert second.number_of_edges() == 0
+
+    def test_birth_probability_one_completes_the_graph(self):
+        empty = nx.Graph()
+        empty.add_nodes_from(range(6))
+        network = EdgeMarkovianNetwork(6, 1.0, 0.0, initial_graph=empty)
+        network.reset(0)
+        network.graph_for_step(0, frozenset())
+        second = network.graph_for_step(1, frozenset())
+        assert second.number_of_edges() == 6 * 5 // 2
+
+    def test_zero_rates_freeze_the_graph(self):
+        initial = path(range(8))
+        network = EdgeMarkovianNetwork(8, 0.0, 0.0001, initial_graph=initial)
+        network.reset(1)
+        first = network.graph_for_step(0, frozenset())
+        # With q tiny the edge set should essentially never change in one step.
+        second = network.graph_for_step(1, frozenset())
+        assert abs(second.number_of_edges() - first.number_of_edges()) <= 1
+
+    def test_stationary_density_is_roughly_preserved(self):
+        network = EdgeMarkovianNetwork(20, 0.3, 0.3, rng=0)
+        network.reset(0)
+        densities = []
+        possible = 20 * 19 / 2
+        for t in range(10):
+            graph = network.graph_for_step(t, frozenset())
+            densities.append(graph.number_of_edges() / possible)
+        average = sum(densities) / len(densities)
+        assert 0.3 < average < 0.7
+
+    def test_independent_runs_differ(self):
+        network = EdgeMarkovianNetwork(12, 0.4, 0.4)
+        network.reset(0)
+        first = network.graph_for_step(0, frozenset()).copy()
+        network.reset(1)
+        second = network.graph_for_step(0, frozenset())
+        assert set(first.edges()) != set(second.edges())
+
+    def test_seeded_runs_reproduce(self):
+        network_a = EdgeMarkovianNetwork(12, 0.4, 0.4)
+        network_b = EdgeMarkovianNetwork(12, 0.4, 0.4)
+        network_a.reset(42)
+        network_b.reset(42)
+        edges_a = [frozenset(network_a.graph_for_step(t, frozenset()).edges()) for t in range(3)]
+        edges_b = [frozenset(network_b.graph_for_step(t, frozenset()).edges()) for t in range(3)]
+        assert edges_a == edges_b

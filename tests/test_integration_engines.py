@@ -1,0 +1,53 @@
+"""Integration test: the boundary and naive engines agree in distribution.
+
+The boundary engine is the library's workhorse; the naive engine is the
+literal transcription of Definition 1.  On small graphs we compare their
+empirical mean spread times with a two-sample z-style criterion — this is the
+same check that experiment E9 performs, kept here in a quick form so the unit
+test suite guards the equivalence.
+"""
+
+import math
+import statistics
+
+import pytest
+
+from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.core.variants import Variant
+from repro.dynamics.dichotomy import DynamicStarNetwork
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.generators import cycle, path, star
+
+
+def mean_and_std(process, factory, trials, seed_base):
+    times = [process.run(factory(), rng=seed_base + seed).spread_time for seed in range(trials)]
+    return statistics.fmean(times), statistics.stdev(times)
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("path6", lambda: StaticDynamicNetwork(path(range(6)))),
+        ("star7", lambda: StaticDynamicNetwork(star(0, range(1, 7)))),
+        ("dynstar6", lambda: DynamicStarNetwork(6)),
+    ],
+)
+def test_engines_agree_on_mean_spread_time(name, factory):
+    trials = 120
+    boundary = AsynchronousRumorSpreading(engine="boundary")
+    naive = AsynchronousRumorSpreading(engine="naive")
+    mean_b, std_b = mean_and_std(boundary, factory, trials, 10_000)
+    mean_n, std_n = mean_and_std(naive, factory, trials, 20_000)
+    standard_error = math.sqrt(std_b**2 / trials + std_n**2 / trials)
+    assert abs(mean_b - mean_n) < 5 * standard_error + 0.05
+
+
+def test_engines_agree_for_push_only_variant():
+    trials = 120
+    factory = lambda: StaticDynamicNetwork(cycle(range(7)))
+    boundary = AsynchronousRumorSpreading(engine="boundary", variant=Variant.PUSH)
+    naive = AsynchronousRumorSpreading(engine="naive", variant=Variant.PUSH)
+    mean_b, std_b = mean_and_std(boundary, factory, trials, 1)
+    mean_n, std_n = mean_and_std(naive, factory, trials, 2)
+    standard_error = math.sqrt(std_b**2 / trials + std_n**2 / trials)
+    assert abs(mean_b - mean_n) < 5 * standard_error + 0.05

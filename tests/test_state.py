@@ -1,0 +1,63 @@
+"""Unit tests for SpreadResult."""
+
+import math
+
+import pytest
+
+from repro.core.state import SpreadResult
+
+
+def make_result(times=None, n=5, completed=True, synchronous=False):
+    times = {0: 0.0, 1: 1.0, 2: 1.5, 3: 2.0, 4: 3.5} if times is None else times
+    spread = max(times.values()) if completed else math.inf
+    return SpreadResult(
+        spread_time=spread,
+        informed_times=times,
+        completed=completed,
+        n=n,
+        steps_used=4,
+        source=0,
+        synchronous=synchronous,
+    )
+
+
+class TestSpreadResult:
+    def test_informed_count(self):
+        assert make_result().informed_count == 5
+
+    def test_informed_at(self):
+        result = make_result()
+        assert result.informed_at(0.0) == 1
+        assert result.informed_at(1.5) == 3
+        assert result.informed_at(10.0) == 5
+
+    def test_informing_order_sorted_by_time(self):
+        result = make_result()
+        order = result.informing_order()
+        assert [node for node, _ in order] == [0, 1, 2, 3, 4]
+        times = [time for _, time in order]
+        assert times == sorted(times)
+
+    def test_time_to_fraction(self):
+        result = make_result()
+        assert result.time_to_fraction(0.2) == 0.0
+        assert result.time_to_fraction(0.6) == 1.5
+        assert result.time_to_fraction(1.0) == 3.5
+
+    def test_time_to_fraction_not_reached(self):
+        result = make_result(times={0: 0.0, 1: 2.0}, n=5, completed=False)
+        assert result.time_to_fraction(1.0) is None
+
+    def test_time_to_fraction_validation(self):
+        with pytest.raises(ValueError):
+            make_result().time_to_fraction(0.0)
+        with pytest.raises(ValueError):
+            make_result().time_to_fraction(1.5)
+
+    def test_summary_mentions_status(self):
+        assert "completed" in make_result().summary()
+        assert "TIMED OUT" in make_result(completed=False).summary()
+
+    def test_summary_mentions_rounds_for_synchronous(self):
+        assert "rounds" in make_result(synchronous=True).summary()
+        assert "time" in make_result(synchronous=False).summary()

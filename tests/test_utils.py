@@ -1,0 +1,102 @@
+"""Unit tests for the shared utilities (rng plumbing, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    require,
+    require_int_in_range,
+    require_node_count,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_a_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        first = ensure_rng(42).random(3)
+        second = ensure_rng(42).random(3)
+        assert np.allclose(first, second)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = ensure_rng(np.random.SeedSequence(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        generators = spawn_rngs(0, 4)
+        assert len(generators) == 4
+        draws = [gen.random() for gen in generators]
+        assert len(set(draws)) == 4
+
+    def test_reproducible_from_integer_seed(self):
+        first = [gen.random() for gen in spawn_rngs(5, 3)]
+        second = [gen.random() for gen in spawn_rngs(5, 3)]
+        assert first == second
+
+    def test_spawning_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_seed_is_int(self):
+        assert isinstance(derive_seed(0, salt=3), int)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(0.5, "x")
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(TypeError):
+            require_positive("3", "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-1, "x")
+
+    def test_require_probability(self):
+        require_probability(0.0, "p")
+        require_probability(1.0, "p")
+        with pytest.raises(ValueError):
+            require_probability(1.01, "p")
+
+    def test_require_node_count(self):
+        require_node_count(5)
+        with pytest.raises(ValueError):
+            require_node_count(0)
+        with pytest.raises(TypeError):
+            require_node_count(2.5)
+        with pytest.raises(TypeError):
+            require_node_count(True)
+
+    def test_require_int_in_range(self):
+        require_int_in_range(3, 1, 5, "k")
+        with pytest.raises(ValueError):
+            require_int_in_range(9, 1, 5, "k")
+        with pytest.raises(TypeError):
+            require_int_in_range(2.0, 1, 5, "k")
