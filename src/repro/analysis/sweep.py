@@ -66,6 +66,7 @@ def sweep(
     source_for: Optional[Callable[[Any, DynamicNetwork], Hashable]] = None,
     extras_for: Optional[Callable[[Any, TrialSummary], Dict[str, float]]] = None,
     whp_quantile: float = DEFAULT_WHP_QUANTILE,
+    workers: Optional[int] = None,
     **run_kwargs,
 ) -> SweepResult:
     """Run a one-dimensional parameter sweep.
@@ -88,6 +89,9 @@ def sweep(
     extras_for:
         Optional ``(value, summary) -> dict`` adding derived columns (e.g.
         theoretical bounds) to each row.
+    workers:
+        Forwarded to :func:`repro.analysis.trials.run_trials`: number of
+        worker processes running each point's trials concurrently.
     """
     require(len(values) > 0, "sweep requires at least one parameter value")
     generators = spawn_rngs(rng, len(values))
@@ -107,6 +111,7 @@ def sweep(
             rng=point_rng,
             source=source,
             whp_quantile=whp_quantile,
+            workers=workers,
             **run_kwargs,
         )
         extras = extras_for(value, summary) if extras_for is not None else {}

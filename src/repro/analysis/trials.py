@@ -5,14 +5,24 @@ spread time; at finite ``n`` we estimate the w.h.p. spread time as an upper
 quantile (by default the 90th percentile) of the empirical distribution over
 independent trials, alongside the mean, median and a normal-approximation
 confidence interval for the mean.
+
+Trials are independent by construction (per-trial generators are spawned from
+the master seed), so :func:`run_trials` can fan them out over a process pool:
+pass ``workers=k`` to run ``k`` trials concurrently.  ``workers=1`` (the
+default) is the plain serial loop, and because every trial uses the same
+derived generator either way, the parallel path returns bit-identical results
+on platforms with the ``fork`` start method.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
 import statistics
+import threading
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,15 +100,39 @@ class TrialSummary:
         return statistics.stdev(completed)
 
     def quantile(self, q: float) -> float:
-        """Empirical quantile of the spread time (timed-out trials count as ``inf``)."""
+        """Empirical quantile of the spread time (timed-out trials count as ``inf``).
+
+        Uses the same linear-interpolation index arithmetic as
+        ``numpy.quantile`` (the default "linear" method): the virtual index is
+        ``q · (trials − 1)`` and fractional positions interpolate between the
+        two bracketing order statistics.  The previous ``ceil``-based index
+        was off by one for small ``q`` with few trials (e.g. ``q = 0.1`` over
+        3 trials returned the minimum); infinite (timed-out) order statistics
+        are propagated instead of producing ``nan``.
+        """
         require_probability(q, "q")
         ordered = sorted(self.spread_times)
-        index = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
-        return ordered[max(index, 0)]
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        low_index = int(math.floor(position))
+        high_index = int(math.ceil(position))
+        low_value, high_value = ordered[low_index], ordered[high_index]
+        fraction = position - low_index
+        if fraction == 0.0 or low_value == high_value:
+            return low_value
+        if math.isinf(high_value):
+            return high_value
+        return low_value + fraction * (high_value - low_value)
 
     @property
     def whp_spread_time(self) -> float:
-        """The finite-n stand-in for the w.h.p. spread time (upper quantile)."""
+        """The finite-n stand-in for the w.h.p. spread time (upper quantile).
+
+        Defined as ``quantile(whp_quantile)`` — by default the 90th
+        percentile of the raw per-trial spread times, with timed-out trials
+        participating as ``inf`` so chronic non-completion shows up here.
+        """
         return self.quantile(self.whp_quantile)
 
     def mean_confidence_interval(self, z: float = 1.96) -> tuple:
@@ -124,6 +158,55 @@ class TrialSummary:
         }
 
 
+#: Payload inherited by forked trial workers (set only around a parallel run).
+_FORK_PAYLOAD: Optional[Tuple] = None
+
+#: Serialises the set-payload / fork-workers / clear-payload window so
+#: concurrent ``run_trials`` calls from different threads cannot fork workers
+#: that inherit the wrong payload.
+_FORK_LOCK = threading.Lock()
+
+
+def _forked_trial(index: int) -> SpreadResult:
+    """Run trial ``index`` inside a forked worker process.
+
+    The runner, factory and per-trial generators are inherited through the
+    ``fork`` start method via :data:`_FORK_PAYLOAD`, so arbitrary closures
+    (lambdas, bound methods) work without being picklable.
+    """
+    runner, network_factory, source, run_kwargs, generators = _FORK_PAYLOAD
+    network = network_factory()
+    return runner(network, source=source, rng=generators[index], **run_kwargs)
+
+
+def _run_trials_parallel(
+    runner: Callable[..., SpreadResult],
+    network_factory: Callable[[], DynamicNetwork],
+    generators: Sequence[np.random.Generator],
+    source: Optional[Hashable],
+    workers: int,
+    run_kwargs: Dict,
+) -> Optional[List[SpreadResult]]:
+    """Fan trials out over a process pool; ``None`` when fork is unavailable."""
+    global _FORK_PAYLOAD
+    if "fork" not in multiprocessing.get_all_start_methods():
+        # Without fork the runner/factory would have to be picklable, which
+        # the API does not require; the caller falls back to the serial loop.
+        return None
+    context = multiprocessing.get_context("fork")
+    trials = len(generators)
+    with _FORK_LOCK:
+        _FORK_PAYLOAD = (runner, network_factory, source, run_kwargs, generators)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, trials), mp_context=context
+            ) as pool:
+                chunksize = max(1, trials // (4 * workers))
+                return list(pool.map(_forked_trial, range(trials), chunksize=chunksize))
+        finally:
+            _FORK_PAYLOAD = None
+
+
 def run_trials(
     runner: Callable[..., SpreadResult],
     network_factory: Callable[[], DynamicNetwork],
@@ -132,6 +215,7 @@ def run_trials(
     source: Optional[Hashable] = None,
     whp_quantile: float = DEFAULT_WHP_QUANTILE,
     keep_results: bool = False,
+    workers: Optional[int] = None,
     **run_kwargs,
 ) -> TrialSummary:
     """Run ``trials`` independent runs and summarise their spread times.
@@ -149,13 +233,37 @@ def run_trials(
         Number of independent runs.
     rng:
         Master seed; per-trial generators are derived from it so results are
-        reproducible and independent of ``trials``.
+        reproducible and independent of ``trials`` *and* of ``workers``.
     keep_results:
         When True, the full :class:`SpreadResult` objects are retained on the
         summary (memory heavy for large sweeps).
+    workers:
+        Number of worker processes.  ``None`` or ``1`` runs the plain serial
+        loop; ``k > 1`` distributes trials over ``k`` forked processes.
+        Trial ``i`` consumes the same derived generator either way, so for a
+        fixed master seed ``workers=1`` is bit-identical to the serial seed
+        behaviour and ``workers>1`` returns the same spread times in the same
+        order (on fork platforms; elsewhere the serial loop is used).  Note
+        that a ``network_factory`` closing over a *shared* generator is only
+        reproducible serially.
     """
     require_node_count(trials, minimum=1, name="trials")
+    if workers is not None:
+        require(
+            isinstance(workers, int) and workers >= 1,
+            f"workers must be a positive integer, got {workers!r}",
+        )
     generators = spawn_rngs(rng, trials)
+    if workers is not None and workers > 1 and trials > 1:
+        results_list = _run_trials_parallel(
+            runner, network_factory, generators, source, workers, run_kwargs
+        )
+        if results_list is not None:
+            return TrialSummary(
+                spread_times=[result.spread_time for result in results_list],
+                results=results_list if keep_results else [],
+                whp_quantile=whp_quantile,
+            )
     spread_times: List[float] = []
     results: List[SpreadResult] = []
     for trial_rng in generators:

@@ -104,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--variant", choices=[variant.value for variant in Variant], default="push-pull",
         help="contact variant for the asynchronous algorithm",
     )
+    simulate_parser.add_argument(
+        "--engine", choices=("boundary", "naive"), default="boundary",
+        help="asynchronous engine: exact cut-race (boundary) or clock-tick reference (naive)",
+    )
+    simulate_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the trial runner (1 = serial)",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="run every experiment and print a combined markdown report"
@@ -144,8 +152,12 @@ def _command_simulate(args, out) -> int:
     if args.algorithm == "sync":
         runner = SynchronousRumorSpreading().run
     else:
-        runner = AsynchronousRumorSpreading(variant=Variant(args.variant)).run
-    summary = run_trials(runner, factory, trials=args.trials, rng=args.seed)
+        runner = AsynchronousRumorSpreading(
+            variant=Variant(args.variant), engine=args.engine
+        ).run
+    summary = run_trials(
+        runner, factory, trials=args.trials, rng=args.seed, workers=args.workers
+    )
     probe = factory()
     rows = [dict({"network": args.network, "nodes": probe.n}, **summary.as_dict())]
     unit = "rounds" if args.algorithm == "sync" else "time"

@@ -6,22 +6,40 @@ uniformly random neighbour in the *current* snapshot ``G(⌊τ⌋)``; the rumor 
 exchanged if at least one of the pair knows it.  Snapshots change at integer
 times.
 
-Two engines are provided.
+Two engines are provided; both run on the array-native
+:class:`repro.graphs.csr.CsrSnapshot` representation that every
+:class:`repro.dynamics.base.DynamicNetwork` emits via ``snapshot_for_step``.
 
 **Boundary engine** (default, exact and fast).  Only contacts across the
 informed/uninformed cut change the state, and the first such contact after
 time ``γ`` occurs after an ``Exp(λ(γ))`` wait with
 ``λ(γ) = Σ_{{u,v}∈E(I,U)} (1/d_u + 1/d_v)`` (Equation (1) of the paper), the
 newly informed node being chosen proportionally to its share of ``λ``.  The
-engine therefore simulates an exponential race over the cut, re-sampling (by
+engine simulates this exponential race over the cut, re-sampling (by
 memorylessness) whenever a snapshot boundary or a scheduled node crash
-intervenes.  Per informing event the work is ``O(deg)`` for the incremental
-rate update plus ``O(|U|)`` for the weighted choice of the new node.
+intervenes.
+
+Data layout: all per-node state is indexed by the compact node id of the
+snapshot (position in ``network.nodes``) —
+
+* ``rates``: ``float64[n]``, the informing rate of each uninformed node
+  (0 for informed, crashed or cut-free nodes), plus its tracked sum;
+* ``informed`` / ``down``: ``bool[n]`` masks;
+* ``informed_time``: ``float64[n]`` (``nan`` until informed);
+* an O(1) *uninformed-and-up* counter replaces any per-iteration scan for
+  remaining targets.
+
+Per informing event the work is a cumulative-sum + ``np.searchsorted``
+weighted draw (O(n) vectorised, replacing the O(|U|) Python dict scan) and an
+O(deg) incremental rate update over the new node's CSR neighbour slice.  Full
+rate rebuilds — needed only at snapshot changes and crashes — are a single
+vectorised pass over the directed edge arrays, O(n + m) with no Python loop.
 
 **Naive engine** (reference implementation).  Simulates every clock tick of
-every node, informative or not.  It is orders of magnitude slower but is the
-literal transcription of Definition 1; the test-suite checks that the two
-engines agree in distribution.
+every node, informative or not, walking CSR neighbour slices.  It is orders
+of magnitude slower but is the literal transcription of Definition 1; the
+test-suite checks that the two engines agree in distribution (including under
+message drops and scheduled crashes).
 """
 
 from __future__ import annotations
@@ -29,20 +47,43 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, List, Optional, Tuple
 
-import networkx as nx
 import numpy as np
 
 from repro.core.faults import FaultModel
 from repro.core.state import SpreadResult
 from repro.core.variants import Variant
 from repro.dynamics.base import DynamicNetwork, SnapshotRecorder
+from repro.graphs.csr import CsrSnapshot
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require, require_positive
+
+#: Total-rate threshold below which the boundary engine treats the cut as empty.
+RATE_EPSILON = 1e-15
 
 
 def default_time_limit(n: int) -> float:
     """Default simulation horizon: comfortably above the universal O(n²) bound."""
     return 4.0 * n * n + 1000.0
+
+
+def _initial_down_mask(faults: FaultModel, nodes: Tuple[Hashable, ...]) -> np.ndarray:
+    """Boolean mask of nodes that are already down at time 0."""
+    if not faults.has_faults:
+        return np.zeros(len(nodes), dtype=bool)
+    return np.fromiter(
+        (faults.is_down(node, 0.0) for node in nodes), dtype=bool, count=len(nodes)
+    )
+
+
+def _pending_crashes(
+    faults: FaultModel, index_of: Dict[Hashable, int]
+) -> List[Tuple[float, int]]:
+    """Scheduled ``(time, compact id)`` crashes, earliest first."""
+    return sorted(
+        (time, index_of[node])
+        for node, time in faults.crash_times.items()
+        if node not in faults.crashed_nodes and time > 0.0 and node in index_of
+    )
 
 
 class AsynchronousRumorSpreading:
@@ -101,7 +142,7 @@ class AsynchronousRumorSpreading:
         """
         gen = ensure_rng(rng)
         source = network.default_source() if source is None else source
-        require(source in set(network.nodes), f"source {source!r} is not a node of the network")
+        require(source in network.node_set, f"source {source!r} is not a node of the network")
         limit = default_time_limit(network.n) if max_time is None else max_time
         require_positive(limit, "max_time")
         if self.engine == "boundary":
@@ -112,33 +153,53 @@ class AsynchronousRumorSpreading:
     # boundary engine
     # ------------------------------------------------------------------
 
-    def _edge_rate(self, graph: nx.Graph, informed_node, uninformed_node) -> float:
-        return self.variant.edge_rate(
-            graph.degree(informed_node), graph.degree(uninformed_node)
-        )
-
     def _build_rates(
         self,
-        graph: nx.Graph,
-        informed: set,
-        down: set,
-    ) -> Tuple[Dict[Hashable, float], float]:
-        """Per-uninformed-node informing rates and their total."""
+        snapshot: CsrSnapshot,
+        informed: np.ndarray,
+        down: np.ndarray,
+    ) -> Tuple[np.ndarray, float]:
+        """Per-uninformed-node informing rates (indexed by compact id) and their sum.
+
+        One vectorised pass over the directed edge arrays: an adjacency entry
+        ``(v, u)`` contributes ``a/d_u + b/d_v`` to ``rates[v]`` exactly when
+        ``u`` is informed-and-up and ``v`` is uninformed-and-up.
+        """
+        owner = snapshot.row_owner
+        neighbour = snapshot.indices
+        inv = snapshot.inverse_degrees
+        crossing = (informed[neighbour] & ~down[neighbour]) & (
+            ~informed[owner] & ~down[owner]
+        )
+        targets = owner[crossing]
+        sources = neighbour[crossing]
+        a, b = self.variant.rate_coefficients()
+        contributions = a * inv[sources] + b * inv[targets]
+        # bincount degrades to int64 zeros when no edge crosses the cut.
+        rates = np.bincount(targets, weights=contributions, minlength=snapshot.n).astype(
+            np.float64, copy=False
+        )
         delivery = self.faults.delivery_probability()
-        rates: Dict[Hashable, float] = {}
-        total = 0.0
-        for v in graph.nodes():
-            if v in informed or v in down:
-                continue
-            rate = 0.0
-            for u in graph.neighbors(v):
-                if u in informed and u not in down:
-                    rate += self._edge_rate(graph, u, v)
-            if rate > 0:
-                rate *= delivery
-                rates[v] = rate
-                total += rate
-        return rates, total
+        if delivery != 1.0:
+            rates *= delivery
+        return rates, float(rates.sum())
+
+    @staticmethod
+    def _choose_weighted(rates: np.ndarray, total_rate: float, gen: np.random.Generator) -> int:
+        """Pick a compact id with probability proportional to ``rates``.
+
+        Cumulative sum + ``searchsorted`` replaces the seed implementation's
+        linear dict scan.  Floating-point drift between the tracked
+        ``total_rate`` and the fresh cumulative sum is absorbed by clamping
+        onto a positive-rate entry.
+        """
+        cumulative = np.cumsum(rates)
+        threshold = gen.random() * total_rate
+        index = int(np.searchsorted(cumulative, threshold, side="left"))
+        if index >= len(rates) or rates[index] <= 0.0:
+            positive = np.nonzero(rates > 0.0)[0]
+            index = int(positive[-1] if index >= len(rates) else positive[0])
+        return index
 
     def _run_boundary(
         self,
@@ -149,53 +210,59 @@ class AsynchronousRumorSpreading:
         recorder: Optional[SnapshotRecorder],
     ) -> SpreadResult:
         network.reset(gen)
-        informed = {source}
-        informed_times: Dict[Hashable, float] = {source: 0.0}
-        down = {node for node in network.nodes if self.faults.is_down(node, 0.0)}
-        pending_crashes = sorted(
-            (time, node)
-            for node, time in self.faults.crash_times.items()
-            if node not in self.faults.crashed_nodes and time > 0.0
-        )
+        nodes = network.nodes
+        n = network.n
+        index_of = {label: i for i, label in enumerate(nodes)}
+        source_id = index_of[source]
+        a, b = self.variant.rate_coefficients()
         delivery = self.faults.delivery_probability()
+
+        informed = np.zeros(n, dtype=bool)
+        informed[source_id] = True
+        informed_time = np.full(n, np.nan)
+        informed_time[source_id] = 0.0
+        informed_labels = {source}
+        down = _initial_down_mask(self.faults, nodes)
+        pending_crashes = _pending_crashes(self.faults, index_of)
+        remaining = int(np.count_nonzero(~informed & ~down))
 
         tau = 0.0
         step = 0
         events = 0
-        graph = network.graph_for_step(step, informed)
+        snapshot = network.snapshot_for_step(step, informed_labels)
         if recorder is not None:
-            recorder.record(network, step, graph, len(informed))
-        rates, total_rate = self._build_rates(graph, informed, down)
+            recorder.record(network, step, snapshot, len(informed_labels))
+        rates, total_rate = self._build_rates(snapshot, informed, down)
 
-        def targets_remaining() -> int:
-            return sum(
-                1 for node in network.nodes if node not in informed and node not in down
-            )
-
-        while targets_remaining() > 0 and tau < limit:
+        while remaining > 0 and tau < limit:
             next_boundary = float(step + 1)
             next_crash_time = pending_crashes[0][0] if pending_crashes else math.inf
             horizon = min(next_boundary, next_crash_time, limit)
 
             advance_to_horizon = True
-            if total_rate > 1e-15:
+            if total_rate > RATE_EPSILON:
                 wait = gen.exponential(1.0 / total_rate)
                 if tau + wait < horizon:
                     # An informing contact happens before any interruption.
                     tau += wait
                     events += 1
-                    new_node = self._choose_weighted(rates, total_rate, gen)
-                    informed.add(new_node)
-                    informed_times[new_node] = tau
-                    removed = rates.pop(new_node)
-                    total_rate -= removed
-                    if new_node in graph and new_node not in down:
-                        for neighbour in graph.neighbors(new_node):
-                            if neighbour in informed or neighbour in down:
-                                continue
-                            extra = self._edge_rate(graph, new_node, neighbour) * delivery
-                            rates[neighbour] = rates.get(neighbour, 0.0) + extra
-                            total_rate += extra
+                    new_id = self._choose_weighted(rates, total_rate, gen)
+                    informed[new_id] = True
+                    informed_time[new_id] = tau
+                    informed_labels.add(nodes[new_id])
+                    remaining -= 1
+                    total_rate -= float(rates[new_id])
+                    rates[new_id] = 0.0
+                    neighbours = snapshot.neighbors(new_id)
+                    if neighbours.size:
+                        open_targets = neighbours[
+                            ~informed[neighbours] & ~down[neighbours]
+                        ]
+                        if open_targets.size:
+                            inv = snapshot.inverse_degrees
+                            extra = delivery * (a * inv[new_id] + b * inv[open_targets])
+                            rates[open_targets] += extra
+                            total_rate += float(extra.sum())
                     advance_to_horizon = False
 
             if advance_to_horizon:
@@ -204,46 +271,37 @@ class AsynchronousRumorSpreading:
                     break
                 tau = horizon
                 if pending_crashes and math.isclose(horizon, next_crash_time):
-                    crash_time, crashed = pending_crashes.pop(0)
-                    down.add(crashed)
-                    rates, total_rate = self._build_rates(graph, informed, down)
+                    _, crashed_id = pending_crashes.pop(0)
+                    if not down[crashed_id]:
+                        down[crashed_id] = True
+                        if not informed[crashed_id]:
+                            remaining -= 1
+                    rates, total_rate = self._build_rates(snapshot, informed, down)
                 else:
                     step += 1
-                    previous_graph = graph
-                    graph = network.graph_for_step(step, informed)
+                    previous_snapshot = snapshot
+                    snapshot = network.snapshot_for_step(step, informed_labels)
                     if recorder is not None:
-                        recorder.record(network, step, graph, len(informed))
-                    if graph is not previous_graph:
-                        rates, total_rate = self._build_rates(graph, informed, down)
+                        recorder.record(network, step, snapshot, len(informed_labels))
+                    if snapshot is not previous_snapshot:
+                        rates, total_rate = self._build_rates(snapshot, informed, down)
 
-        completed = targets_remaining() == 0
+        completed = remaining == 0
+        informed_ids = np.nonzero(informed)[0]
+        informed_times = {
+            nodes[int(i)]: float(informed_time[int(i)]) for i in informed_ids
+        }
         spread_time = max(informed_times.values()) if completed else math.inf
         return SpreadResult(
             spread_time=spread_time,
             informed_times=informed_times,
             completed=completed,
-            n=network.n,
+            n=n,
             steps_used=step + 1,
             source=source,
             synchronous=False,
             events=events,
         )
-
-    @staticmethod
-    def _choose_weighted(
-        rates: Dict[Hashable, float], total_rate: float, gen: np.random.Generator
-    ) -> Hashable:
-        """Pick a key of ``rates`` with probability proportional to its value."""
-        threshold = gen.random() * total_rate
-        cumulative = 0.0
-        last = None
-        for node, rate in rates.items():
-            cumulative += rate
-            last = node
-            if cumulative >= threshold:
-                return node
-        # Floating point drift can leave threshold marginally above the sum.
-        return last
 
     # ------------------------------------------------------------------
     # naive engine
@@ -258,92 +316,102 @@ class AsynchronousRumorSpreading:
         recorder: Optional[SnapshotRecorder],
     ) -> SpreadResult:
         network.reset(gen)
-        informed = {source}
-        informed_times: Dict[Hashable, float] = {source: 0.0}
-        nodes = list(network.nodes)
-        n = len(nodes)
+        nodes = network.nodes
+        n = network.n
+        index_of = {label: i for i, label in enumerate(nodes)}
+        source_id = index_of[source]
         per_node_rate = 2.0 if self.variant is Variant.TWO_PUSH else 1.0
+        drop = self.faults.drop_probability
+
+        informed = np.zeros(n, dtype=bool)
+        informed[source_id] = True
+        informed_time = np.full(n, np.nan)
+        informed_time[source_id] = 0.0
+        informed_labels = {source}
+        down = _initial_down_mask(self.faults, nodes)
+        pending_crashes = _pending_crashes(self.faults, index_of)
+        remaining = int(np.count_nonzero(~informed & ~down))
+
+        def apply_crashes(now: float) -> None:
+            nonlocal remaining
+            while pending_crashes and pending_crashes[0][0] <= now:
+                _, crashed_id = pending_crashes.pop(0)
+                if not down[crashed_id]:
+                    down[crashed_id] = True
+                    if not informed[crashed_id]:
+                        remaining -= 1
 
         tau = 0.0
         step = 0
         events = 0
-        graph = network.graph_for_step(step, informed)
+        snapshot = network.snapshot_for_step(step, informed_labels)
         if recorder is not None:
-            recorder.record(network, step, graph, len(informed))
+            recorder.record(network, step, snapshot, len(informed_labels))
 
-        def down(node: Hashable, time: float) -> bool:
-            return self.faults.is_down(node, time)
-
-        def targets_remaining(time: float) -> int:
-            return sum(1 for node in nodes if node not in informed and not down(node, time))
-
-        while targets_remaining(tau) > 0 and tau < limit:
+        while remaining > 0 and tau < limit:
             total_rate = per_node_rate * n
             wait = gen.exponential(1.0 / total_rate)
             if tau + wait >= step + 1:
                 tau = float(step + 1)
+                apply_crashes(tau)
                 if tau >= limit:
                     break
                 step += 1
-                graph = network.graph_for_step(step, informed)
+                snapshot = network.snapshot_for_step(step, informed_labels)
                 if recorder is not None:
-                    recorder.record(network, step, graph, len(informed))
+                    recorder.record(network, step, snapshot, len(informed_labels))
                 continue
             tau += wait
+            apply_crashes(tau)
             events += 1
-            caller = nodes[int(gen.integers(0, n))]
-            if down(caller, tau):
+            caller = int(gen.integers(0, n))
+            if down[caller]:
                 continue
-            neighbours = list(graph.neighbors(caller))
-            if not neighbours:
+            neighbours = snapshot.neighbors(caller)
+            if neighbours.size == 0:
                 continue
-            callee = neighbours[int(gen.integers(0, len(neighbours)))]
-            if down(callee, tau):
+            callee = int(neighbours[int(gen.integers(0, neighbours.size))])
+            if down[callee]:
                 continue
-            if self.faults.drop_probability > 0 and gen.random() < self.faults.drop_probability:
+            if drop > 0 and gen.random() < drop:
                 continue
-            self._exchange(caller, callee, informed, informed_times, tau)
+            newly = self._exchange_ids(caller, callee, informed)
+            if newly is not None:
+                informed[newly] = True
+                informed_time[newly] = tau
+                informed_labels.add(nodes[newly])
+                remaining -= 1
 
-        completed = targets_remaining(tau) == 0
+        apply_crashes(tau)
+        completed = remaining == 0
+        informed_ids = np.nonzero(informed)[0]
+        informed_times = {
+            nodes[int(i)]: float(informed_time[int(i)]) for i in informed_ids
+        }
         spread_time = max(informed_times.values()) if completed else math.inf
         return SpreadResult(
             spread_time=spread_time,
             informed_times=informed_times,
             completed=completed,
-            n=network.n,
+            n=n,
             steps_used=step + 1,
             source=source,
             synchronous=False,
             events=events,
         )
 
-    def _exchange(
-        self,
-        caller: Hashable,
-        callee: Hashable,
-        informed: set,
-        informed_times: Dict[Hashable, float],
-        tau: float,
-    ) -> None:
-        """Apply one contact between ``caller`` and ``callee`` at time ``tau``."""
-        caller_knows = caller in informed
-        callee_knows = callee in informed
+    def _exchange_ids(self, caller: int, callee: int, informed: np.ndarray) -> Optional[int]:
+        """Return the compact id newly informed by one contact, or ``None``."""
+        caller_knows = bool(informed[caller])
+        callee_knows = bool(informed[callee])
         if caller_knows == callee_knows:
-            return
+            return None
         if self.variant in (Variant.PUSH, Variant.TWO_PUSH):
-            if caller_knows and not callee_knows:
-                informed.add(callee)
-                informed_times[callee] = tau
-            return
+            return callee if caller_knows else None
         if self.variant is Variant.PULL:
-            if callee_knows and not caller_knows:
-                informed.add(caller)
-                informed_times[caller] = tau
-            return
+            return caller if callee_knows else None
         # push-pull: the rumor moves whichever direction is possible.
-        newly = callee if caller_knows else caller
-        informed.add(newly)
-        informed_times[newly] = tau
+        return callee if caller_knows else caller
 
 
 __all__ = ["AsynchronousRumorSpreading", "default_time_limit"]

@@ -12,6 +12,11 @@ The spread time ``Ts`` is the number of rounds until every node is informed.
 Flooding — informed nodes informing *all* neighbours every round — is included
 as the deterministic baseline used by the related work on Markovian evolving
 graphs.
+
+The engine runs on :class:`repro.graphs.csr.CsrSnapshot` arrays: one whole
+round of contacts (every node's uniform neighbour draw, fault filtering and
+knowledge comparison) is generated as a handful of vectorised numpy
+operations over the compact node ids instead of a per-node Python loop.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import numpy as np
 from repro.core.faults import FaultModel
 from repro.core.state import SpreadResult
 from repro.dynamics.base import DynamicNetwork, SnapshotRecorder
+from repro.graphs.csr import concatenated_neighbors
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require, require_positive
 
@@ -71,89 +77,103 @@ class SynchronousRumorSpreading:
         """
         gen = ensure_rng(rng)
         source = network.default_source() if source is None else source
-        require(source in set(network.nodes), f"source {source!r} is not a node of the network")
+        require(source in network.node_set, f"source {source!r} is not a node of the network")
         limit = default_round_limit(network.n) if max_rounds is None else max_rounds
         require_positive(limit, "max_rounds")
 
         network.reset(gen)
-        informed: Set[Hashable] = {source}
-        informed_times: Dict[Hashable, float] = {source: 0.0}
-        nodes = list(network.nodes)
+        nodes = network.nodes
+        n = network.n
+        index_of = {label: i for i, label in enumerate(nodes)}
+        source_id = index_of[source]
+        drop = self.faults.drop_probability
+
+        informed = np.zeros(n, dtype=bool)
+        informed[source_id] = True
+        informed_time = np.full(n, np.nan)
+        informed_time[source_id] = 0.0
+        informed_labels: Set[Hashable] = {source}
         events = 0
 
-        def down(node: Hashable, round_index: int) -> bool:
-            return self.faults.is_down(node, float(round_index))
-
-        def targets_remaining(round_index: int) -> int:
-            return sum(
-                1 for node in nodes if node not in informed and not down(node, round_index)
+        if self.faults.has_faults:
+            always_down = np.fromiter(
+                (node in self.faults.crashed_nodes for node in nodes), dtype=bool, count=n
             )
+            crash_round = np.full(n, np.inf)
+            for node, time in self.faults.crash_times.items():
+                if node in index_of:
+                    crash_round[index_of[node]] = time
+        else:
+            always_down = np.zeros(n, dtype=bool)
+            crash_round = None
+
+        def down_mask(round_index: int) -> np.ndarray:
+            if crash_round is None:
+                return always_down
+            return always_down | (crash_round <= float(round_index))
 
         round_index = 0
-        while targets_remaining(round_index) > 0 and round_index < limit:
-            graph = network.graph_for_step(round_index, informed)
+        down = down_mask(round_index)
+        while int(np.count_nonzero(~informed & ~down)) > 0 and round_index < limit:
+            snapshot = network.snapshot_for_step(round_index, informed_labels)
             if recorder is not None:
-                recorder.record(network, round_index, graph, len(informed))
-            snapshot_informed = set(informed)
-            newly: Set[Hashable] = set()
+                recorder.record(network, round_index, snapshot, len(informed_labels))
+            degrees = snapshot.degrees
+            newly: Optional[np.ndarray] = None
 
             if self.variant is SyncVariant.FLOODING:
-                for u in snapshot_informed:
-                    if down(u, round_index) or u not in graph:
-                        continue
-                    for v in graph.neighbors(u):
-                        if v in snapshot_informed or down(v, round_index):
-                            continue
-                        events += 1
-                        if self._delivered(gen):
-                            newly.add(v)
+                speakers = np.nonzero(informed & ~down & (degrees > 0))[0]
+                contacts = concatenated_neighbors(snapshot, speakers)
+                open_targets = contacts[~informed[contacts] & ~down[contacts]]
+                events += int(open_targets.size)
+                if drop > 0 and open_targets.size:
+                    open_targets = open_targets[gen.random(open_targets.size) >= drop]
+                newly = open_targets
             else:
-                for u in nodes:
-                    if down(u, round_index):
-                        continue
-                    neighbours = list(graph.neighbors(u)) if u in graph else []
-                    if not neighbours:
-                        continue
-                    events += 1
-                    v = neighbours[int(gen.integers(0, len(neighbours)))]
-                    if down(v, round_index):
-                        continue
-                    if not self._delivered(gen):
-                        continue
-                    u_knows = u in snapshot_informed
-                    v_knows = v in snapshot_informed
-                    if u_knows == v_knows:
-                        continue
-                    if self.variant is SyncVariant.PUSH and u_knows:
-                        newly.add(v)
-                    elif self.variant is SyncVariant.PULL and v_knows:
-                        newly.add(u)
-                    elif self.variant is SyncVariant.PUSH_PULL:
-                        newly.add(v if u_knows else u)
+                callers = np.nonzero(~down & (degrees > 0))[0]
+                events += int(callers.size)
+                if callers.size:
+                    draws = gen.random(callers.size)
+                    offsets = (draws * degrees[callers]).astype(np.int64)
+                    callees = snapshot.indices[snapshot.indptr[callers] + offsets]
+                    viable = ~down[callees]
+                    if drop > 0:
+                        viable &= gen.random(callers.size) >= drop
+                    caller_knows = informed[callers]
+                    callee_knows = informed[callees]
+                    crossing = viable & (caller_knows != callee_knows)
+                    if self.variant is SyncVariant.PUSH:
+                        newly = callees[crossing & caller_knows]
+                    elif self.variant is SyncVariant.PULL:
+                        newly = callers[crossing & callee_knows]
+                    else:  # push-pull: the rumor moves whichever direction works.
+                        newly = np.where(caller_knows, callees, callers)[crossing]
 
             round_index += 1
-            for node in newly:
-                if node not in informed:
-                    informed.add(node)
-                    informed_times[node] = float(round_index)
+            if newly is not None and newly.size:
+                fresh = np.unique(newly[~informed[newly]])
+                if fresh.size:
+                    informed[fresh] = True
+                    informed_time[fresh] = float(round_index)
+                    informed_labels.update(nodes[int(i)] for i in fresh)
+            down = down_mask(round_index)
 
-        completed = targets_remaining(round_index) == 0
+        completed = int(np.count_nonzero(~informed & ~down)) == 0
+        informed_ids = np.nonzero(informed)[0]
+        informed_times: Dict[Hashable, float] = {
+            nodes[int(i)]: float(informed_time[int(i)]) for i in informed_ids
+        }
         spread_time = max(informed_times.values()) if completed else math.inf
         return SpreadResult(
             spread_time=spread_time,
             informed_times=informed_times,
             completed=completed,
-            n=network.n,
+            n=n,
             steps_used=round_index,
             source=source,
             synchronous=True,
             events=events,
         )
-
-    def _delivered(self, gen: np.random.Generator) -> bool:
-        if self.faults.drop_probability <= 0:
-            return True
-        return gen.random() >= self.faults.drop_probability
 
 
 __all__ = ["SynchronousRumorSpreading", "SyncVariant", "default_round_limit"]

@@ -58,6 +58,23 @@ class Variant(enum.Enum):
         """Total clock rate across ``n`` nodes (used by the naive engine)."""
         return 2.0 * n if self is Variant.TWO_PUSH else float(n)
 
+    def rate_coefficients(self) -> Tuple[float, float]:
+        """``(a, b)`` such that the crossing-edge rate is ``a/d_inf + b/d_uninf``.
+
+        This is the form the vectorised boundary engine consumes: the rate of
+        an informed→uninformed edge is ``a · (1/d_informed) + b · (1/d_uninformed)``
+        with the same values :meth:`edge_rate` computes pairwise.
+        """
+        if self is Variant.PUSH_PULL:
+            return (1.0, 1.0)
+        if self is Variant.PUSH:
+            return (1.0, 0.0)
+        if self is Variant.PULL:
+            return (0.0, 1.0)
+        if self is Variant.TWO_PUSH:
+            return (2.0, 0.0)
+        raise AssertionError(f"unhandled variant {self!r}")
+
 
 def forward_two_push_chain(
     cluster_sizes: Sequence[int],

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
+from repro.graphs.csr import CsrSnapshot
 from repro.graphs.metrics import GraphMetrics, absolute_diligence, measure_graph
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require
@@ -44,10 +45,15 @@ class DynamicNetwork(ABC):
     def __init__(self, nodes: Sequence[Hashable]):
         nodes = tuple(nodes)
         require(len(nodes) >= 1, "a dynamic network needs at least one node")
-        require(len(set(nodes)) == len(nodes), "node labels must be distinct")
+        node_set = frozenset(nodes)
+        require(len(node_set) == len(nodes), "node labels must be distinct")
         self._nodes: Tuple[Hashable, ...] = nodes
+        self._node_set: FrozenSet[Hashable] = node_set
         self._last_step: Optional[int] = None
         self._was_reset = False
+        # One-entry cache for the default nx -> CSR snapshot adapter.
+        self._adapter_graph: Optional[nx.Graph] = None
+        self._adapter_snapshot: Optional[CsrSnapshot] = None
 
     # -- structure ---------------------------------------------------------
 
@@ -55,6 +61,11 @@ class DynamicNetwork(ABC):
     def nodes(self) -> Tuple[Hashable, ...]:
         """The fixed node set shared by every snapshot."""
         return self._nodes
+
+    @property
+    def node_set(self) -> FrozenSet[Hashable]:
+        """The node labels as a cached frozenset (for O(1) membership tests)."""
+        return self._node_set
 
     @property
     def n(self) -> int:
@@ -81,12 +92,8 @@ class DynamicNetwork(ABC):
     def _on_reset(self, rng) -> None:
         """Hook for subclasses to clear per-run state; default does nothing."""
 
-    def graph_for_step(self, t: int, informed: AbstractSet[Hashable]) -> nx.Graph:
-        """Return the snapshot ``G(t)`` governing the interval ``[t, t+1)``.
-
-        ``informed`` is the set of informed nodes at the beginning of step
-        ``t``; oblivious networks ignore it, adaptive ones may not.
-        """
+    def _advance_step(self, t: int) -> None:
+        """Enforce the snapshot call protocol (reset first, increasing ``t``)."""
         require(self._was_reset, "call reset() before requesting snapshots")
         require(isinstance(t, int) and t >= 0, f"t must be a non-negative integer, got {t!r}")
         if self._last_step is not None:
@@ -96,17 +103,61 @@ class DynamicNetwork(ABC):
                 f"(got {t} after {self._last_step})",
             )
         self._last_step = t
+
+    def graph_for_step(self, t: int, informed: AbstractSet[Hashable]) -> nx.Graph:
+        """Return the snapshot ``G(t)`` governing the interval ``[t, t+1)``.
+
+        ``informed`` is the set of informed nodes at the beginning of step
+        ``t``; oblivious networks ignore it, adaptive ones may not.
+        """
+        self._advance_step(t)
         graph = self._build_step(t, frozenset(informed))
         self._check_snapshot(graph)
         return graph
+
+    def snapshot_for_step(self, t: int, informed: AbstractSet[Hashable]) -> CsrSnapshot:
+        """Return snapshot ``G(t)`` as a :class:`CsrSnapshot` (engine fast path).
+
+        Compact ids follow :attr:`nodes` order, so they are stable across all
+        snapshots of a run.  The default implementation adapts
+        :meth:`_build_step`'s networkx output; constructions with an obvious
+        array form override :meth:`_build_snapshot_step` to emit CSR directly
+        and never materialise a dict-of-dict graph on the hot path.
+        """
+        self._advance_step(t)
+        snapshot = self._build_snapshot_step(t, frozenset(informed))
+        # Engines index per-node state by position in self._nodes, so the
+        # snapshot's node order (not just its count) must match exactly.
+        require(
+            snapshot.nodes is self._nodes or snapshot.nodes == self._nodes,
+            "snapshot node order differs from the dynamic network's node tuple",
+        )
+        return snapshot
 
     @abstractmethod
     def _build_step(self, t: int, informed: frozenset) -> nx.Graph:
         """Build (or retrieve) the snapshot for step ``t``."""
 
+    def _build_snapshot_step(self, t: int, informed: frozenset) -> CsrSnapshot:
+        """Build the CSR snapshot for step ``t`` (default: adapt ``_build_step``).
+
+        The adapter caches the last conversion keyed by graph identity, so
+        networks that return the same graph object across steps (static and
+        explicit-sequence networks) pay the conversion once, and the engines'
+        ``snapshot is previous_snapshot`` rebuild-elision keeps working.
+        """
+        graph = self._build_step(t, informed)
+        if graph is not None and graph is self._adapter_graph:
+            return self._adapter_snapshot
+        self._check_snapshot(graph)
+        snapshot = CsrSnapshot.from_networkx(graph, nodes=self._nodes)
+        self._adapter_graph = graph
+        self._adapter_snapshot = snapshot
+        return snapshot
+
     def _check_snapshot(self, graph: nx.Graph) -> None:
         require(
-            set(graph.nodes()) == set(self._nodes),
+            graph.number_of_nodes() == self.n and self._node_set.issuperset(graph.nodes()),
             "snapshot node set differs from the dynamic network's node set",
         )
 
@@ -167,30 +218,49 @@ class SnapshotRecorder:
         self,
         network: DynamicNetwork,
         t: int,
-        graph: nx.Graph,
+        graph: Union[nx.Graph, CsrSnapshot],
         informed_count: int,
     ) -> None:
-        """Record snapshot ``graph`` used at step ``t``."""
+        """Record snapshot ``graph`` used at step ``t``.
+
+        Accepts either representation a simulator may be driving: a networkx
+        graph or a :class:`CsrSnapshot`.  CSR snapshots are measured with the
+        array-native cheap metrics and only converted to networkx when the
+        "full" mode needs conductance / diligence estimation.
+        """
+        snapshot = graph if isinstance(graph, CsrSnapshot) else None
         metrics: Optional[GraphMetrics] = None
         if self._prefer_known:
             metrics = network.known_step_metrics(t)
         if metrics is None and self._mode == "full":
-            metrics = measure_graph(graph, sampled_cuts=self._sampled_cuts, rng=self._rng)
+            nx_graph = snapshot.to_networkx() if snapshot is not None else graph
+            metrics = measure_graph(nx_graph, sampled_cuts=self._sampled_cuts, rng=self._rng)
         if metrics is None:
             # Cheap record: only the quantities Theorem 1.3 needs.
-            connected = graph.number_of_edges() > 0 and nx.is_connected(graph)
+            if snapshot is not None:
+                connected = snapshot.is_connected()
+                rho_abs = snapshot.absolute_diligence()
+                n = snapshot.n
+            else:
+                connected = graph.number_of_edges() > 0 and nx.is_connected(graph)
+                rho_abs = absolute_diligence(graph)
+                n = graph.number_of_nodes()
             metrics = GraphMetrics(
                 conductance=float("nan"),
                 diligence=float("nan"),
-                absolute_diligence=absolute_diligence(graph),
+                absolute_diligence=rho_abs,
                 connected=connected,
-                n=graph.number_of_nodes(),
+                n=n,
                 exact=False,
             )
         self.steps.append(RecordedStep(t=t, metrics=metrics, informed_count=informed_count))
         if self._track_degrees:
-            for node in graph.nodes():
-                self.degree_history.setdefault(node, []).append(graph.degree(node))
+            if snapshot is not None:
+                for node, degree in zip(snapshot.nodes, snapshot.degrees):
+                    self.degree_history.setdefault(node, []).append(int(degree))
+            else:
+                for node in graph.nodes():
+                    self.degree_history.setdefault(node, []).append(graph.degree(node))
 
     def conductance_series(self) -> List[float]:
         """Per-step conductance values in step order."""

@@ -26,7 +26,15 @@ from typing import Hashable, Optional
 import networkx as nx
 
 from repro.dynamics.base import DynamicNetwork
-from repro.graphs.generators import bridged_double_clique, clique_with_pendant, dynamic_star_graph
+from repro.graphs.csr import CsrSnapshot
+from repro.graphs.generators import (
+    bridged_double_clique,
+    bridged_double_clique_csr,
+    clique_with_pendant,
+    clique_with_pendant_csr,
+    dynamic_star_csr,
+    dynamic_star_graph,
+)
 from repro.graphs.metrics import GraphMetrics
 from repro.utils.validation import require_node_count
 
@@ -44,6 +52,8 @@ class CliqueBridgeNetwork(DynamicNetwork):
         super().__init__(list(range(1, n + 2)))
         self._initial = clique_with_pendant(n)
         self._later = bridged_double_clique(n)
+        self._initial_csr: Optional[CsrSnapshot] = None
+        self._later_csr: Optional[CsrSnapshot] = None
 
     def default_source(self) -> Hashable:
         """The pendant node ``n + 1`` (the square node of Figure 1(a))."""
@@ -51,6 +61,17 @@ class CliqueBridgeNetwork(DynamicNetwork):
 
     def _build_step(self, t: int, informed: frozenset) -> nx.Graph:
         return self._initial if t == 0 else self._later
+
+    def _build_snapshot_step(self, t: int, informed: frozenset) -> CsrSnapshot:
+        # Both snapshots are clique assemblies with an obvious array form;
+        # built lazily once, then reused so engines skip rate rebuilds.
+        if t == 0:
+            if self._initial_csr is None:
+                self._initial_csr = clique_with_pendant_csr(self._clique_size)
+            return self._initial_csr
+        if self._later_csr is None:
+            self._later_csr = bridged_double_clique_csr(self._clique_size)
+        return self._later_csr
 
     def known_step_metrics(self, t: int) -> Optional[GraphMetrics]:
         n = self._clique_size
@@ -113,10 +134,18 @@ class DynamicStarNetwork(DynamicNetwork):
             return int(self._run_rng.choice(candidates))
         return candidates[0]
 
-    def _build_step(self, t: int, informed: frozenset) -> nx.Graph:
+    def _center_for(self, t: int, informed: frozenset) -> int:
         center = 0 if t == 0 else self._pick_center(informed)
         self._last_center = center
-        return dynamic_star_graph(self._leaves + 1, center)
+        return center
+
+    def _build_step(self, t: int, informed: frozenset) -> nx.Graph:
+        return dynamic_star_graph(self._leaves + 1, self._center_for(t, informed))
+
+    def _build_snapshot_step(self, t: int, informed: frozenset) -> CsrSnapshot:
+        # Same centre-selection logic (and RNG draws) as the networkx path,
+        # but the star snapshot is emitted directly in CSR form.
+        return dynamic_star_csr(self._leaves + 1, self._center_for(t, informed))
 
     def known_step_metrics(self, t: int) -> Optional[GraphMetrics]:
         # Every snapshot is a star: Φ = 1, ρ = 1 and ρ̄ = 1 (the paper notes a

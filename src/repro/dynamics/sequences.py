@@ -14,11 +14,12 @@ not depend on the informed set.  They cover
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Optional, Sequence
+from typing import Callable, Hashable, List, Optional, Sequence, Union
 
 import networkx as nx
 
 from repro.dynamics.base import DynamicNetwork
+from repro.graphs.csr import CsrSnapshot
 from repro.graphs.metrics import GraphMetrics, measure_graph
 from repro.utils.validation import require
 
@@ -26,25 +27,41 @@ from repro.utils.validation import require
 class StaticDynamicNetwork(DynamicNetwork):
     """A static graph exposed at every time step.
 
-    Precomputes the snapshot metrics once (they never change), so bound
-    evaluation on static-as-dynamic networks is cheap.
+    Accepts either a ``networkx.Graph`` or a :class:`CsrSnapshot` (so the
+    CSR-native generators feed the engines without ever building a
+    dict-of-dict graph); the other representation is derived lazily on first
+    use.  Precomputes the snapshot metrics once (they never change), so bound
+    evaluation on small static-as-dynamic networks is cheap.
     """
 
     def __init__(
         self,
-        graph: nx.Graph,
+        graph: Union[nx.Graph, CsrSnapshot],
         precompute_metrics: bool = True,
         metrics: Optional[GraphMetrics] = None,
     ):
+        if isinstance(graph, CsrSnapshot):
+            require(graph.n >= 1, "graph must have at least one node")
+            super().__init__(graph.nodes)
+            self._graph: Optional[nx.Graph] = None
+            self._snapshot: Optional[CsrSnapshot] = graph
+            self._metrics: Optional[GraphMetrics] = metrics
+            return
         require(graph.number_of_nodes() >= 1, "graph must have at least one node")
         super().__init__(list(graph.nodes()))
         self._graph = graph.copy()
-        self._metrics: Optional[GraphMetrics] = metrics
+        self._snapshot = None
+        self._metrics = metrics
         if metrics is None and precompute_metrics and graph.number_of_nodes() <= 18:
             self._metrics = measure_graph(graph)
 
     def _build_step(self, t: int, informed: frozenset) -> nx.Graph:
-        return self._graph
+        return self.graph
+
+    def _build_snapshot_step(self, t: int, informed: frozenset) -> CsrSnapshot:
+        if self._snapshot is None:
+            self._snapshot = CsrSnapshot.from_networkx(self._graph, nodes=self._nodes)
+        return self._snapshot
 
     def known_step_metrics(self, t: int) -> Optional[GraphMetrics]:
         return self._metrics
@@ -52,6 +69,8 @@ class StaticDynamicNetwork(DynamicNetwork):
     @property
     def graph(self) -> nx.Graph:
         """The underlying static graph (shared, do not mutate)."""
+        if self._graph is None:
+            self._graph = self._snapshot.to_networkx()
         return self._graph
 
 
@@ -80,6 +99,7 @@ class ExplicitSequenceNetwork(DynamicNetwork):
             )
         super().__init__(list(graphs[0].nodes()))
         self._graphs = [g.copy() for g in graphs]
+        self._snapshots: List[Optional[CsrSnapshot]] = [None] * len(graphs)
         self._cycle = cycle
         if metrics is not None:
             require(len(metrics) == len(graphs), "metrics must align with graphs")
@@ -96,6 +116,16 @@ class ExplicitSequenceNetwork(DynamicNetwork):
 
     def _build_step(self, t: int, informed: frozenset) -> nx.Graph:
         return self._graphs[self._index_for(t)]
+
+    def _build_snapshot_step(self, t: int, informed: frozenset) -> CsrSnapshot:
+        # Per-index cache so periodic alternations keep snapshot identity
+        # stable (the engines skip rate rebuilds on identical snapshots).
+        index = self._index_for(t)
+        if self._snapshots[index] is None:
+            self._snapshots[index] = CsrSnapshot.from_networkx(
+                self._graphs[index], nodes=self._nodes
+            )
+        return self._snapshots[index]
 
     def known_step_metrics(self, t: int):
         return self._metrics[self._index_for(t)]

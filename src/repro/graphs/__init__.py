@@ -28,21 +28,30 @@ from repro.graphs.metrics import (
     diligence_sampled,
     volume,
 )
+from repro.graphs.csr import CsrSnapshot
 from repro.graphs.generators import (
     bridged_double_clique,
+    bridged_double_clique_csr,
     clique,
+    clique_csr,
     clique_with_pendant,
+    clique_with_pendant_csr,
     complete_bipartite_chain,
     cycle,
+    cycle_csr,
+    dynamic_star_csr,
     dynamic_star_graph,
+    erdos_renyi_csr,
     near_regular_with_hub,
     path,
     random_regular_expander,
     star,
+    star_csr,
 )
 from repro.graphs.hk_delta import HkDeltaGraph, build_hk_delta
 
 __all__ = [
+    "CsrSnapshot",
     "GraphMetrics",
     "absolute_diligence",
     "conductance_exact",
@@ -55,15 +64,22 @@ __all__ = [
     "diligence_sampled",
     "volume",
     "bridged_double_clique",
+    "bridged_double_clique_csr",
     "clique",
+    "clique_csr",
     "clique_with_pendant",
+    "clique_with_pendant_csr",
     "complete_bipartite_chain",
     "cycle",
+    "cycle_csr",
+    "dynamic_star_csr",
     "dynamic_star_graph",
+    "erdos_renyi_csr",
     "near_regular_with_hub",
     "path",
     "random_regular_expander",
     "star",
+    "star_csr",
     "HkDeltaGraph",
     "build_hk_delta",
 ]

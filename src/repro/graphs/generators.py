@@ -23,8 +23,9 @@ from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.graphs.csr import CsrSnapshot
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import require, require_node_count
+from repro.utils.validation import require, require_node_count, require_probability
 
 #: Spectral-gap threshold below which a random regular graph is rejected as
 #: "not an expander".  Random 4-regular graphs have second eigenvalue of the
@@ -113,6 +114,183 @@ def complete_bipartite_chain(clusters: Sequence[Sequence[Hashable]]) -> nx.Graph
     for left, right in zip(clusters, clusters[1:]):
         graph.add_edges_from((u, v) for u in left for v in right)
     return graph
+
+
+# ---------------------------------------------------------------------------
+# CSR-native constructors (no dict-of-dict adjacency on the hot path)
+# ---------------------------------------------------------------------------
+
+def clique_csr(nodes: Iterable[Hashable]) -> CsrSnapshot:
+    """Return the complete graph on ``nodes`` as a :class:`CsrSnapshot`."""
+    nodes = list(nodes)
+    n = len(nodes)
+    require(n >= 1, "clique requires at least one node")
+    if n == 1:
+        return CsrSnapshot(np.zeros(2, dtype=np.int64), np.empty(0, dtype=np.int64), nodes)
+    grid = np.broadcast_to(np.arange(n, dtype=np.int64), (n, n))
+    indices = grid[~np.eye(n, dtype=bool)]
+    indptr = np.arange(0, n * (n - 1) + 1, n - 1, dtype=np.int64)
+    return CsrSnapshot(indptr, indices, nodes, validate=False)
+
+
+def star_csr(center: Hashable, leaves: Iterable[Hashable]) -> CsrSnapshot:
+    """Return a star (``center`` first in the node order) as a :class:`CsrSnapshot`."""
+    leaves = list(leaves)
+    require(len(leaves) >= 1, "star requires at least one leaf")
+    require(center not in leaves, "center must not also be a leaf")
+    n = len(leaves) + 1
+    indptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.arange(n - 1, 2 * (n - 1) + 1, dtype=np.int64)]
+    )
+    indices = np.concatenate(
+        [np.arange(1, n, dtype=np.int64), np.zeros(n - 1, dtype=np.int64)]
+    )
+    return CsrSnapshot(indptr, indices, [center] + leaves, validate=False)
+
+
+def dynamic_star_csr(n_plus_one: int, center: Hashable) -> CsrSnapshot:
+    """CSR snapshot of the dynamic star ``G2``: nodes ``0..n`` in label order.
+
+    Unlike :func:`star_csr` the node order is the fixed label order ``0..n``
+    regardless of which node is the centre, so compact ids stay stable across
+    the centre rotations of :class:`repro.dynamics.dichotomy.DynamicStarNetwork`.
+    """
+    require_node_count(n_plus_one, minimum=2, name="n_plus_one")
+    require(
+        isinstance(center, (int, np.integer)) and 0 <= center < n_plus_one,
+        f"center {center!r} must be one of the {n_plus_one} nodes",
+    )
+    center = int(center)
+    n = n_plus_one - 1
+    degrees = np.ones(n_plus_one, dtype=np.int64)
+    degrees[center] = n
+    indptr = np.zeros(n_plus_one + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = np.full(2 * n, center, dtype=np.int64)
+    others = np.concatenate(
+        [np.arange(center, dtype=np.int64), np.arange(center + 1, n_plus_one, dtype=np.int64)]
+    )
+    indices[indptr[center]:indptr[center + 1]] = others
+    return CsrSnapshot(indptr, indices, range(n_plus_one), validate=False)
+
+
+def cycle_csr(nodes: Iterable[Hashable]) -> CsrSnapshot:
+    """Return the cycle visiting ``nodes`` in order as a :class:`CsrSnapshot`."""
+    nodes = list(nodes)
+    n = len(nodes)
+    require(n >= 3, "cycle requires at least three nodes")
+    ids = np.arange(n, dtype=np.int64)
+    prev_ids = (ids - 1) % n
+    next_ids = (ids + 1) % n
+    indices = np.stack([np.minimum(prev_ids, next_ids), np.maximum(prev_ids, next_ids)], axis=1)
+    indptr = np.arange(0, 2 * n + 1, 2, dtype=np.int64)
+    return CsrSnapshot(indptr, indices.reshape(-1), nodes, validate=False)
+
+
+def _clique_edge_ids(member_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Compact endpoint arrays of the clique over the given compact ids."""
+    upper = np.triu_indices(len(member_ids), k=1)
+    return member_ids[upper[0]], member_ids[upper[1]]
+
+
+def clique_with_pendant_csr(n: int) -> CsrSnapshot:
+    """CSR form of :func:`clique_with_pendant` (labels ``1..n+1``, pendant last)."""
+    require_node_count(n, minimum=2)
+    core_u, core_v = _clique_edge_ids(np.arange(n, dtype=np.int64))
+    u_ids = np.concatenate([core_u, np.array([0], dtype=np.int64)])
+    v_ids = np.concatenate([core_v, np.array([n], dtype=np.int64)])
+    return CsrSnapshot.from_edge_arrays(range(1, n + 2), u_ids, v_ids)
+
+
+def bridged_double_clique_csr(n: int) -> CsrSnapshot:
+    """CSR form of :func:`bridged_double_clique` on labels ``1..n+1``.
+
+    Matches the networkx construction exactly: the left clique holds node 1,
+    the right clique holds node ``n+1``, joined by the bridge ``{1, n+1}``.
+    """
+    require_node_count(n, minimum=3)
+    total = n + 1
+    left_size = (total + 1) // 2
+    left_nodes = [1] + [u for u in range(2, total + 1) if u != n + 1][: left_size - 1]
+    left_set = set(left_nodes)
+    right_nodes = [u for u in range(1, total + 1) if u not in left_set]
+    labels = list(range(1, total + 1))
+    left_ids = np.array([label - 1 for label in left_nodes], dtype=np.int64)
+    right_ids = np.array([label - 1 for label in right_nodes], dtype=np.int64)
+    lu, lv = _clique_edge_ids(left_ids)
+    ru, rv = _clique_edge_ids(right_ids)
+    u_ids = np.concatenate([lu, ru, np.array([0], dtype=np.int64)])
+    v_ids = np.concatenate([lv, rv, np.array([n], dtype=np.int64)])
+    return CsrSnapshot.from_edge_arrays(labels, u_ids, v_ids)
+
+
+#: Chunk length for the vectorised Bernoulli sweep over all node pairs in
+#: ``erdos_renyi_csr`` (bounds transient memory to a few megabytes).
+ER_SAMPLING_CHUNK = 1 << 20
+
+
+def erdos_renyi_csr(
+    n: int,
+    edge_probability: float,
+    rng: RngLike = None,
+    nodes: Optional[Sequence[Hashable]] = None,
+) -> CsrSnapshot:
+    """Sample ``G(n, p)`` directly into CSR form.
+
+    Every one of the ``n(n-1)/2`` potential edges is included independently
+    with probability ``p`` (the exact Erdős–Rényi model), swept in vectorised
+    chunks so no ``n × n`` dict-of-dict structure is ever materialised.
+    """
+    require_node_count(n, minimum=1)
+    require_probability(edge_probability, "edge_probability")
+    labels = range(n) if nodes is None else nodes
+    require(
+        len(labels) == n,
+        f"nodes must provide exactly n labels (n={n}, got {len(labels)})",
+    )
+    gen = ensure_rng(rng)
+    total_pairs = n * (n - 1) // 2
+    hits: List[np.ndarray] = []
+    offset = 0
+    while offset < total_pairs:
+        chunk = min(ER_SAMPLING_CHUNK, total_pairs - offset)
+        local = np.nonzero(gen.random(chunk) < edge_probability)[0]
+        if local.size:
+            hits.append(local + offset)
+        offset += chunk
+    if hits:
+        pair_ids = np.concatenate(hits)
+        u_ids, v_ids = condensed_to_pair(pair_ids, n)
+    else:
+        u_ids = v_ids = np.empty(0, dtype=np.int64)
+    return CsrSnapshot.from_edge_arrays(labels, u_ids, v_ids)
+
+
+def condensed_to_pair(pair_ids: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Map condensed upper-triangle indices to ``(i, j)`` pairs with ``i < j``.
+
+    Pairs are numbered row-major: ``(0,1), (0,2), ..., (0,n-1), (1,2), ...``.
+    """
+    pair_ids = np.asarray(pair_ids, dtype=np.int64)
+    # Row i starts at offset i*n - i*(i+1)/2 - i... solve the quadratic for i.
+    b = 2 * n - 1
+    i = ((b - np.sqrt(b * b - 8.0 * pair_ids)) // 2).astype(np.int64)
+
+    def row_start(rows: np.ndarray) -> np.ndarray:
+        return rows * n - (rows * (rows + 1)) // 2
+
+    # Guard against floating point landing one row off.
+    i[row_start(i) > pair_ids] -= 1
+    i[pair_ids - row_start(i) >= (n - 1 - i)] += 1
+    j = pair_ids - row_start(i) + i + 1
+    return i, j
+
+
+def pair_to_condensed(u_ids: np.ndarray, v_ids: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`condensed_to_pair` (expects ``u < v`` elementwise)."""
+    u_ids = np.asarray(u_ids, dtype=np.int64)
+    v_ids = np.asarray(v_ids, dtype=np.int64)
+    return u_ids * n - (u_ids * (u_ids + 1)) // 2 - u_ids + v_ids - 1
 
 
 # ---------------------------------------------------------------------------
@@ -328,8 +506,18 @@ def bridged_double_clique(n: int) -> nx.Graph:
 __all__ = [
     "EXPANDER_GAP_THRESHOLD",
     "EXPANDER_MAX_ATTEMPTS",
+    "ER_SAMPLING_CHUNK",
     "bridged_double_clique",
+    "bridged_double_clique_csr",
     "clique",
+    "clique_csr",
+    "clique_with_pendant_csr",
+    "condensed_to_pair",
+    "cycle_csr",
+    "dynamic_star_csr",
+    "erdos_renyi_csr",
+    "pair_to_condensed",
+    "star_csr",
     "clique_with_pendant",
     "complete_bipartite_chain",
     "cycle",

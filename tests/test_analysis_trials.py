@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.analysis.trials import DEFAULT_WHP_QUANTILE, TrialSummary, run_trials
@@ -23,10 +24,32 @@ class TestTrialSummary:
 
     def test_quantiles(self):
         summary = TrialSummary(spread_times=[float(i) for i in range(1, 11)])
-        assert summary.quantile(0.5) == 5.0
-        assert summary.quantile(0.9) == 9.0
+        # numpy.quantile-consistent linear interpolation over order statistics.
+        assert summary.quantile(0.5) == pytest.approx(5.5)
+        assert summary.quantile(0.9) == pytest.approx(9.1)
+        assert summary.quantile(0.0) == 1.0
         assert summary.quantile(1.0) == 10.0
         assert summary.whp_spread_time == summary.quantile(DEFAULT_WHP_QUANTILE)
+
+    def test_quantile_matches_numpy(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3]
+        summary = TrialSummary(spread_times=values)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.77, 0.9, 1.0):
+            assert summary.quantile(q) == pytest.approx(float(np.quantile(values, q)))
+
+    def test_small_quantile_with_few_trials_is_not_the_minimum(self):
+        # The seed's ceil-based index collapsed q=0.1 over 3 trials onto the
+        # minimum; the interpolated quantile must sit strictly above it.
+        summary = TrialSummary(spread_times=[1.0, 2.0, 3.0])
+        assert summary.quantile(0.1) == pytest.approx(1.2)
+
+    def test_quantile_with_infinities_interpolates_safely(self):
+        summary = TrialSummary(spread_times=[1.0, 2.0, math.inf, math.inf])
+        # Exact positions on finite order statistics stay finite...
+        assert summary.quantile(1 / 3) == pytest.approx(2.0)
+        # ...while any interpolation into the infinite tail propagates inf, not nan.
+        assert math.isinf(summary.quantile(0.5))
+        assert math.isinf(summary.quantile(1.0))
 
     def test_timed_out_trials_excluded_from_mean(self):
         summary = TrialSummary(spread_times=[1.0, math.inf, 3.0])
@@ -107,3 +130,45 @@ class TestRunTrials:
         process = AsynchronousRumorSpreading()
         with pytest.raises(ValueError):
             run_trials(process.run, lambda: StaticDynamicNetwork(clique(range(4))), trials=0)
+
+
+class TestParallelRunTrials:
+    def test_workers_one_is_bit_identical_to_serial(self):
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(clique(range(12)))
+        serial = run_trials(process.run, factory, trials=6, rng=42)
+        explicit = run_trials(process.run, factory, trials=6, rng=42, workers=1)
+        assert serial.spread_times == explicit.spread_times
+
+    def test_parallel_matches_serial_for_fixed_seed(self):
+        # Trial i consumes the same derived generator regardless of workers,
+        # so on fork platforms the parallel results are bit-identical too.
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(clique(range(12)))
+        serial = run_trials(process.run, factory, trials=8, rng=7)
+        parallel = run_trials(process.run, factory, trials=8, rng=7, workers=2)
+        assert parallel.trials == 8
+        assert parallel.spread_times == serial.spread_times
+
+    def test_parallel_keeps_results_on_request(self):
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(clique(range(8)))
+        summary = run_trials(
+            process.run, factory, trials=4, rng=0, workers=2, keep_results=True
+        )
+        assert len(summary.results) == 4
+        assert all(result.completed for result in summary.results)
+
+    def test_parallel_forwards_run_kwargs_and_source(self):
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(path(range(6)))
+        summary = run_trials(
+            process.run, factory, trials=3, rng=1, workers=2, source=5, keep_results=True
+        )
+        assert all(result.source == 5 for result in summary.results)
+
+    def test_invalid_workers_rejected(self):
+        process = AsynchronousRumorSpreading()
+        factory = lambda: StaticDynamicNetwork(clique(range(4)))
+        with pytest.raises(ValueError):
+            run_trials(process.run, factory, trials=2, workers=0)

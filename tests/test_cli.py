@@ -23,6 +23,19 @@ class TestParser:
         assert args.network == "clique"
         assert args.algorithm == "async"
         assert args.n == 100
+        assert args.engine == "boundary"
+        assert args.workers == 1
+
+    def test_simulate_engine_and_workers_parse(self):
+        args = build_parser().parse_args(
+            ["simulate", "--engine", "naive", "--workers", "4"]
+        )
+        assert args.engine == "naive"
+        assert args.workers == 4
+
+    def test_simulate_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--engine", "telepathy"])
 
     def test_simulate_rejects_unknown_network(self):
         with pytest.raises(SystemExit):
@@ -45,6 +58,23 @@ class TestCommands:
         buffer = io.StringIO()
         code = main(
             ["simulate", "--network", "clique", "--n", "20", "--trials", "3", "--seed", "1"],
+            out=buffer,
+        )
+        assert code == 0
+        assert "mean" in buffer.getvalue()
+
+    def test_simulate_naive_engine_with_workers(self):
+        buffer = io.StringIO()
+        code = main(
+            [
+                "simulate",
+                "--network", "clique",
+                "--n", "12",
+                "--trials", "4",
+                "--seed", "1",
+                "--engine", "naive",
+                "--workers", "2",
+            ],
             out=buffer,
         )
         assert code == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the CSR snapshot layer and the CSR-native generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CsrSnapshot, concatenated_neighbors
+from repro.graphs.generators import (
+    bridged_double_clique,
+    bridged_double_clique_csr,
+    clique,
+    clique_csr,
+    clique_with_pendant,
+    clique_with_pendant_csr,
+    condensed_to_pair,
+    cycle,
+    cycle_csr,
+    dynamic_star_csr,
+    dynamic_star_graph,
+    erdos_renyi_csr,
+    pair_to_condensed,
+    star,
+    star_csr,
+)
+
+
+def edge_set(snapshot: CsrSnapshot):
+    return {frozenset(edge) for edge in snapshot.to_networkx().edges()}
+
+
+def nx_edge_set(graph: nx.Graph):
+    return {frozenset(edge) for edge in graph.edges()}
+
+
+class TestCsrSnapshot:
+    def test_basic_structure(self):
+        snapshot = clique_csr(range(5))
+        assert snapshot.n == 5
+        assert snapshot.edge_count == 10
+        assert list(snapshot.degrees) == [4] * 5
+        assert sorted(snapshot.neighbors(2).tolist()) == [0, 1, 3, 4]
+        assert snapshot.index_of[3] == 3
+
+    def test_arrays_are_read_only(self):
+        snapshot = clique_csr(range(4))
+        with pytest.raises(ValueError):
+            snapshot.indices[0] = 99
+        with pytest.raises(ValueError):
+            snapshot.degrees[0] = 99
+
+    def test_inverse_degrees_handles_isolated_nodes(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1)
+        snapshot = CsrSnapshot.from_networkx(graph, cache_graph=False)
+        assert snapshot.inverse_degrees.tolist() == [1.0, 1.0, 0.0]
+
+    def test_row_owner_enumerates_directed_edges(self):
+        snapshot = star_csr(0, [1, 2, 3])
+        pairs = set(zip(snapshot.row_owner.tolist(), snapshot.indices.tolist()))
+        assert pairs == {(0, 1), (0, 2), (0, 3), (1, 0), (2, 0), (3, 0)}
+
+    def test_from_networkx_caches_source_graph(self):
+        graph = clique(range(6))
+        snapshot = CsrSnapshot.from_networkx(graph)
+        assert snapshot.to_networkx() is graph
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CsrSnapshot(np.array([0, 2]), np.array([1, 0]), [0, 1, 2])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            CsrSnapshot(np.array([0, 0, 0]), np.empty(0, dtype=np.int64), [0, 0])
+
+    def test_is_connected(self):
+        assert clique_csr(range(4)).is_connected()
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        assert not CsrSnapshot.from_networkx(graph, cache_graph=False).is_connected()
+
+    def test_concatenated_neighbors(self):
+        snapshot = cycle_csr(range(6))
+        out = concatenated_neighbors(snapshot, np.array([0, 3]))
+        assert sorted(out.tolist()) == [1, 2, 4, 5]
+        empty = concatenated_neighbors(snapshot, np.empty(0, dtype=np.int64))
+        assert empty.size == 0
+
+
+class TestCsrGenerators:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_clique_csr_matches_networkx(self, n):
+        assert edge_set(clique_csr(range(n))) == nx_edge_set(clique(range(n)))
+
+    @pytest.mark.parametrize("n", [3, 6, 11])
+    def test_cycle_csr_matches_networkx(self, n):
+        assert edge_set(cycle_csr(range(n))) == nx_edge_set(cycle(range(n)))
+
+    def test_star_csr_matches_networkx(self):
+        assert edge_set(star_csr(0, range(1, 8))) == nx_edge_set(star(0, range(1, 8)))
+
+    @pytest.mark.parametrize("center", [0, 3, 7])
+    def test_dynamic_star_csr_keeps_label_order(self, center):
+        snapshot = dynamic_star_csr(8, center)
+        assert snapshot.nodes == tuple(range(8))
+        assert edge_set(snapshot) == nx_edge_set(dynamic_star_graph(8, center))
+
+    @pytest.mark.parametrize("n", [4, 7, 10])
+    def test_dichotomy_builders_match_networkx(self, n):
+        assert edge_set(clique_with_pendant_csr(n)) == nx_edge_set(clique_with_pendant(n))
+        assert edge_set(bridged_double_clique_csr(n)) == nx_edge_set(bridged_double_clique(n))
+        assert clique_with_pendant_csr(n).nodes == tuple(range(1, n + 2))
+
+    def test_condensed_pair_mapping_round_trips(self):
+        n = 23
+        pair_ids = np.arange(n * (n - 1) // 2)
+        i, j = condensed_to_pair(pair_ids, n)
+        assert bool(np.all(i < j))
+        assert bool(np.all(pair_to_condensed(i, j, n) == pair_ids))
+
+    def test_erdos_renyi_edge_count_is_binomial(self):
+        n = 300
+        p = 0.04
+        snapshot = erdos_renyi_csr(n, p, rng=5)
+        expectation = p * n * (n - 1) / 2
+        deviation = 6 * (expectation * (1 - p)) ** 0.5
+        assert abs(snapshot.edge_count - expectation) < deviation
+        assert snapshot.n == n
+
+    def test_erdos_renyi_extremes(self):
+        empty = erdos_renyi_csr(20, 0.0, rng=0)
+        assert empty.edge_count == 0
+        full = erdos_renyi_csr(20, 1.0, rng=0)
+        assert full.edge_count == 20 * 19 // 2
+
+    def test_erdos_renyi_reproducible(self):
+        first = erdos_renyi_csr(50, 0.1, rng=123)
+        second = erdos_renyi_csr(50, 0.1, rng=123)
+        assert np.array_equal(first.indices, second.indices)
+        assert np.array_equal(first.indptr, second.indptr)

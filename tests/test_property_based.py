@@ -23,6 +23,7 @@ from hypothesis import strategies as st
 from repro.core.asynchronous import AsynchronousRumorSpreading
 from repro.core.synchronous import SynchronousRumorSpreading
 from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.csr import CsrSnapshot
 from repro.graphs.metrics import (
     absolute_diligence,
     conductance_exact,
@@ -100,6 +101,45 @@ class TestMetricInvariants:
         crossing = cut_edges(graph, half)
         assert volume(graph, half) + volume(graph, set(nodes) - half) == volume(graph)
         assert len(crossing) <= volume(graph, half)
+
+
+class TestCsrRoundTrip:
+    @given(graph=connected_graphs())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_networkx_round_trip_preserves_nodes_and_edges(self, graph):
+        snapshot = CsrSnapshot.from_networkx(graph, cache_graph=False)
+        rebuilt = snapshot.to_networkx()
+        assert set(rebuilt.nodes()) == set(graph.nodes())
+        assert {frozenset(edge) for edge in rebuilt.edges()} == {
+            frozenset(edge) for edge in graph.edges()
+        }
+
+    @given(graph=connected_graphs())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_degrees_and_neighbors_match_networkx(self, graph):
+        nodes = sorted(graph.nodes())
+        snapshot = CsrSnapshot.from_networkx(graph, nodes=nodes, cache_graph=False)
+        for i, node in enumerate(nodes):
+            assert snapshot.degree(i) == graph.degree(node)
+            neighbour_labels = {nodes[int(j)] for j in snapshot.neighbors(i)}
+            assert neighbour_labels == set(graph.neighbors(node))
+
+    @given(graph=connected_graphs())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_array_metrics_match_reference_implementations(self, graph):
+        snapshot = CsrSnapshot.from_networkx(graph, cache_graph=False)
+        assert snapshot.is_connected() == (
+            graph.number_of_edges() > 0 and nx.is_connected(graph)
+        )
+        assert snapshot.absolute_diligence() == pytest.approx(absolute_diligence(graph))
+
+    @given(graph=connected_graphs(), data=st.data())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_explicit_node_order_is_respected(self, graph, data):
+        order = data.draw(st.permutations(sorted(graph.nodes())))
+        snapshot = CsrSnapshot.from_networkx(graph, nodes=order, cache_graph=False)
+        assert snapshot.nodes == tuple(order)
+        assert {snapshot.index_of[node] for node in order} == set(range(snapshot.n))
 
 
 class TestSimulatorInvariants:
