@@ -1,0 +1,58 @@
+"""Print the change between two pytest-benchmark JSON files.
+
+Usage::
+
+    python benchmarks/bench_delta.py benchmarks/BENCH_baseline.json BENCH_engines.json
+
+Matches benchmarks by name and prints the mean runtime of each side plus the
+relative delta (negative = faster than the committed baseline).  Benchmarks
+present on only one side are listed separately.  The script is informational:
+it always exits 0 so CI surfaces regressions in the log without going red on
+noisy runners (the committed baseline was recorded on different hardware than
+the CI machines).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict
+
+
+def _load_means(path: str) -> Dict[str, float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in document.get("benchmarks", [])
+    }
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} BASELINE.json CURRENT.json", file=sys.stderr)
+        return 2
+    baseline = _load_means(argv[1])
+    current = _load_means(argv[2])
+
+    shared = sorted(set(baseline) & set(current))
+    width = max((len(name) for name in shared), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    print(f"{'-' * width}  {'-' * 12}  {'-' * 12}  {'-' * 8}")
+    for name in shared:
+        base_ms = baseline[name] * 1000.0
+        curr_ms = current[name] * 1000.0
+        delta = (curr_ms - base_ms) / base_ms * 100.0
+        print(f"{name:<{width}}  {base_ms:>10.2f}ms  {curr_ms:>10.2f}ms  {delta:>+7.1f}%")
+
+    for label, names in (
+        ("only in baseline", sorted(set(baseline) - set(current))),
+        ("only in current", sorted(set(current) - set(baseline))),
+    ):
+        for name in names:
+            print(f"{label}: {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -47,8 +47,9 @@ from repro.dynamics.edge_markovian import EdgeMarkovianNetwork
 from repro.dynamics.mobile_agents import MobileAgentsNetwork
 from repro.analysis.trials import TrialSummary, run_trials
 from repro.analysis.sweep import SweepResult, sweep
+from repro.scenarios import ExperimentPipeline, Scenario, build_network
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AsynchronousRumorSpreading",
@@ -73,5 +74,8 @@ __all__ = [
     "run_trials",
     "SweepResult",
     "sweep",
+    "ExperimentPipeline",
+    "Scenario",
+    "build_network",
     "__version__",
 ]

@@ -17,17 +17,15 @@ on platforms with the ``fork`` start method.
 from __future__ import annotations
 
 import math
-import multiprocessing
 import statistics
-import threading
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.state import SpreadResult
 from repro.dynamics.base import DynamicNetwork
+from repro.utils.parallel import fork_map
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.validation import require, require_node_count, require_probability
 
@@ -158,27 +156,6 @@ class TrialSummary:
         }
 
 
-#: Payload inherited by forked trial workers (set only around a parallel run).
-_FORK_PAYLOAD: Optional[Tuple] = None
-
-#: Serialises the set-payload / fork-workers / clear-payload window so
-#: concurrent ``run_trials`` calls from different threads cannot fork workers
-#: that inherit the wrong payload.
-_FORK_LOCK = threading.Lock()
-
-
-def _forked_trial(index: int) -> SpreadResult:
-    """Run trial ``index`` inside a forked worker process.
-
-    The runner, factory and per-trial generators are inherited through the
-    ``fork`` start method via :data:`_FORK_PAYLOAD`, so arbitrary closures
-    (lambdas, bound methods) work without being picklable.
-    """
-    runner, network_factory, source, run_kwargs, generators = _FORK_PAYLOAD
-    network = network_factory()
-    return runner(network, source=source, rng=generators[index], **run_kwargs)
-
-
 def _run_trials_parallel(
     runner: Callable[..., SpreadResult],
     network_factory: Callable[[], DynamicNetwork],
@@ -187,24 +164,18 @@ def _run_trials_parallel(
     workers: int,
     run_kwargs: Dict,
 ) -> Optional[List[SpreadResult]]:
-    """Fan trials out over a process pool; ``None`` when fork is unavailable."""
-    global _FORK_PAYLOAD
-    if "fork" not in multiprocessing.get_all_start_methods():
-        # Without fork the runner/factory would have to be picklable, which
-        # the API does not require; the caller falls back to the serial loop.
-        return None
-    context = multiprocessing.get_context("fork")
-    trials = len(generators)
-    with _FORK_LOCK:
-        _FORK_PAYLOAD = (runner, network_factory, source, run_kwargs, generators)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, trials), mp_context=context
-            ) as pool:
-                chunksize = max(1, trials // (4 * workers))
-                return list(pool.map(_forked_trial, range(trials), chunksize=chunksize))
-        finally:
-            _FORK_PAYLOAD = None
+    """Fan trials out over a process pool; ``None`` when fork is unavailable.
+
+    The closure (runner, factory, generators) reaches the workers through the
+    inherited memory of :func:`repro.utils.parallel.fork_map`, so arbitrary
+    lambdas and bound methods work without being picklable.
+    """
+
+    def one_trial(index: int) -> SpreadResult:
+        network = network_factory()
+        return runner(network, source=source, rng=generators[index], **run_kwargs)
+
+    return fork_map(one_trial, range(len(generators)), workers)
 
 
 def run_trials(

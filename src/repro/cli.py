@@ -1,71 +1,62 @@
 """Command-line interface for the reproduction.
 
-Three subcommands:
+Subcommands:
 
 ``python -m repro list``
     List the available experiments (E1..E9) with their titles.
 
-``python -m repro experiment E2 --scale small``
-    Run one experiment and print its full report (claim, regenerated table,
-    derived quantities, shape-check verdict).
+``python -m repro experiment E2 --scale small [--jobs 4] [--json]``
+    Run one experiment through the scenario pipeline and print its report
+    (claim, regenerated table, derived quantities, shape-check verdict) or a
+    JSON document.  Point payloads are cached as JSON artifacts (under
+    ``.repro-cache`` by default) so re-runs resume instead of recomputing.
 
 ``python -m repro simulate --network clique --n 100 --trials 10``
-    Run the asynchronous (or synchronous) algorithm on one of the built-in
-    dynamic networks and print spread-time statistics.
+    Run the asynchronous (or synchronous) algorithm on one of the registered
+    network families and print spread-time statistics.  Flags that do not
+    apply to the chosen algorithm or family are rejected.
+
+``python -m repro report [--only E1 E2] [--jobs 4] [--json]``
+    Run every experiment and print a combined markdown (or JSON) report.
+    Experiment ids are validated before anything runs.
+
+``python -m repro scenarios list`` / ``python -m repro scenarios run FILE``
+    Inspect the network registry and per-experiment scenario tables, or
+    execute a scenario file (a JSON scenario object, list, or
+    ``{"scenarios": [...]}`` document) through the pipeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.analysis.trials import run_trials
-from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.core.synchronous import SynchronousRumorSpreading
 from repro.core.variants import Variant
-from repro.dynamics.absolute_diligent import AbsolutelyDiligentNetwork
-from repro.dynamics.base import DynamicNetwork
-from repro.dynamics.dichotomy import CliqueBridgeNetwork, DynamicStarNetwork
-from repro.dynamics.diligent import DiligentDynamicNetwork
-from repro.dynamics.edge_markovian import EdgeMarkovianNetwork
-from repro.dynamics.mobile_agents import MobileAgentsNetwork
-from repro.dynamics.sequences import StaticDynamicNetwork
-from repro.graphs.generators import clique, cycle, random_regular_expander, star
+from repro.scenarios import (
+    ExperimentPipeline,
+    Scenario,
+    build_network,
+    default_cache_dir,
+    get_network_family,
+    network_families,
+)
 
+#: Network families offered by ``simulate`` (the whole registry).
+NETWORK_CHOICES = network_families()
 
-def _network_factories(args: argparse.Namespace) -> Dict[str, Callable[[], DynamicNetwork]]:
-    """Built-in network constructors keyed by the ``--network`` choice."""
-    n = args.n
-    rho = args.rho
-    return {
-        "clique": lambda: StaticDynamicNetwork(clique(range(n))),
-        "star": lambda: StaticDynamicNetwork(star(0, range(1, n))),
-        "cycle": lambda: StaticDynamicNetwork(cycle(range(n))),
-        "expander": lambda: StaticDynamicNetwork(
-            random_regular_expander(4, range(n), rng=args.seed)
-        ),
-        "dynamic-star": lambda: DynamicStarNetwork(n),
-        "clique-bridge": lambda: CliqueBridgeNetwork(n),
-        "diligent": lambda: DiligentDynamicNetwork(n, rho, rng=args.seed),
-        "absolute-diligent": lambda: AbsolutelyDiligentNetwork(n, rho, rng=args.seed),
-        "edge-markovian": lambda: EdgeMarkovianNetwork(n, args.birth, args.death, rng=args.seed),
-        "mobile-agents": lambda: MobileAgentsNetwork(n, side=args.side, radius=1, rng=args.seed),
-    }
-
-
-NETWORK_CHOICES = (
-    "clique",
-    "star",
-    "cycle",
-    "expander",
-    "dynamic-star",
-    "clique-bridge",
-    "diligent",
-    "absolute-diligent",
-    "edge-markovian",
-    "mobile-agents",
+#: simulate flags that map to network-family parameters.
+_NETWORK_PARAM_FLAGS = (
+    ("--rho", "rho"),
+    ("--birth", "birth"),
+    ("--death", "death"),
+    ("--side", "side"),
+    ("--p", "p"),
+    ("--degree", "degree"),
 )
 
 
@@ -75,18 +66,48 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Tight Analysis of Asynchronous Rumor Spreading "
         "in Dynamic Networks' (Pourmiri & Mans, PODC 2020)",
+        # Abbreviated flags would bypass the explicit-flag validation of
+        # `simulate` (e.g. `--varia` expanding to --variant unseen).
+        allow_abbrev=False,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser("list", help="list the available experiments", allow_abbrev=False)
 
-    experiment_parser = subparsers.add_parser("experiment", help="run one experiment (E1..E9)")
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+        return value
+
+    def add_pipeline_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--jobs", type=positive_int, default=1,
+            help="worker processes for scenario-point parallelism (1 = serial)",
+        )
+        sub.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help=f"JSON artifact cache directory (default: {default_cache_dir()!r})",
+        )
+        sub.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the JSON artifact cache for this run",
+        )
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one experiment (E1..E9)", allow_abbrev=False
+    )
     experiment_parser.add_argument("experiment_id", help="experiment id, e.g. E2")
     experiment_parser.add_argument("--scale", choices=("small", "full"), default="small")
     experiment_parser.add_argument("--seed", type=int, default=None)
+    experiment_parser.add_argument(
+        "--json", action="store_true", help="emit the result as JSON instead of text"
+    )
+    add_pipeline_flags(experiment_parser)
 
     simulate_parser = subparsers.add_parser(
-        "simulate", help="run the rumor spreading algorithm on a built-in network"
+        "simulate", help="run the rumor spreading algorithm on a registered network",
+        allow_abbrev=False,
     )
     simulate_parser.add_argument("--network", choices=NETWORK_CHOICES, default="clique")
     simulate_parser.add_argument("--n", type=int, default=100, help="number of nodes")
@@ -94,6 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--birth", type=float, default=0.3, help="edge birth probability")
     simulate_parser.add_argument("--death", type=float, default=0.3, help="edge death probability")
     simulate_parser.add_argument("--side", type=int, default=10, help="grid side (mobile agents)")
+    simulate_parser.add_argument("--p", type=float, default=0.05, help="edge probability (Erdős–Rényi)")
+    simulate_parser.add_argument("--degree", type=int, default=None, help="regular degree (expander / alternating)")
     simulate_parser.add_argument("--trials", type=int, default=10)
     simulate_parser.add_argument("--seed", type=int, default=0)
     simulate_parser.add_argument(
@@ -112,15 +135,116 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the trial runner (1 = serial)",
     )
+    simulate_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON instead of a table"
+    )
 
     report_parser = subparsers.add_parser(
-        "report", help="run every experiment and print a combined markdown report"
+        "report", help="run every experiment and print a combined markdown report",
+        allow_abbrev=False,
     )
     report_parser.add_argument("--scale", choices=("small", "full"), default="small")
     report_parser.add_argument(
         "--only", nargs="+", default=None, metavar="ID", help="restrict to specific experiment ids"
     )
+    report_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON instead of markdown"
+    )
+    add_pipeline_flags(report_parser)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="inspect or run declarative scenarios", allow_abbrev=False
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="list network families and per-experiment scenario tables",
+        allow_abbrev=False,
+    )
+    scenarios_list.add_argument("--scale", choices=("small", "full"), default="small")
+    scenarios_list.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="run a JSON scenario file through the pipeline", allow_abbrev=False
+    )
+    scenarios_run.add_argument("file", help="path to a scenario JSON file")
+    scenarios_run.add_argument(
+        "--json", action="store_true", help="emit full point payloads as JSON"
+    )
+    add_pipeline_flags(scenarios_run)
     return parser
+
+
+def _finite_json(value: Any) -> Any:
+    """Replace non-finite floats so ``json.dump`` emits valid RFC-8259 JSON.
+
+    Python's writer would otherwise produce bare ``Infinity``/``NaN`` literals
+    (e.g. E3's ``Tabs_if_reached`` column), which non-Python consumers reject;
+    they become the strings ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"``.
+    """
+    if isinstance(value, dict):
+        return {key: _finite_json(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_finite_json(inner) for inner in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _dump_json(document: Any, out) -> None:
+    """Emit a CLI ``--json`` document (strictly valid JSON, trailing newline)."""
+    json.dump(_finite_json(document), out, indent=2, allow_nan=False)
+    print(file=out)
+
+
+def _make_pipeline(args: argparse.Namespace) -> ExperimentPipeline:
+    """Build the pipeline an experiment/report/scenarios command asked for."""
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    return ExperimentPipeline(jobs=args.jobs, cache_dir=cache_dir)
+
+
+def _explicit_flags(argv: Sequence[str]) -> set:
+    """Option strings the user actually typed (``--flag`` and ``--flag=x``)."""
+    return {token.split("=", 1)[0] for token in argv if token.startswith("--")}
+
+
+def _validate_simulate_flags(args: argparse.Namespace, explicit: set) -> Optional[str]:
+    """Reject flag combinations that would otherwise be silently ignored.
+
+    Returns an error message, or ``None`` when the combination is valid.
+    """
+    if args.algorithm == "sync":
+        inapplicable = sorted({"--variant", "--engine"} & explicit)
+        if inapplicable:
+            verb = "applies" if len(inapplicable) == 1 else "apply"
+            return (
+                f"{', '.join(inapplicable)} {verb} only to --algorithm async; "
+                "the synchronous process is round-based push-pull with no engine choice"
+            )
+    family = get_network_family(args.network)
+    for flag, param in _NETWORK_PARAM_FLAGS:
+        if flag in explicit and param not in family.defaults:
+            return (
+                f"{flag} does not apply to --network {args.network}; "
+                f"parameters of {args.network!r}: {list(family.defaults)}"
+            )
+    return None
+
+
+def _simulate_params(args: argparse.Namespace) -> Dict[str, Any]:
+    """Family parameters for ``simulate`` (defaults for flags not given)."""
+    family = get_network_family(args.network)
+    params: Dict[str, Any] = {"n": args.n}
+    for _flag, param in _NETWORK_PARAM_FLAGS:
+        value = getattr(args, param)
+        if param in family.defaults and value is not None:
+            params[param] = value
+    return params
 
 
 def _command_list(out) -> int:
@@ -138,17 +262,27 @@ def _command_list(out) -> int:
 def _command_experiment(args, out) -> int:
     from repro.experiments.registry import run_experiment
 
-    kwargs = {"scale": args.scale}
+    kwargs = {"scale": args.scale, "pipeline": _make_pipeline(args)}
     if args.seed is not None:
         kwargs["rng"] = args.seed
-    result = run_experiment(args.experiment_id.upper(), **kwargs)
-    print(result.report(), file=out)
+    try:
+        result = run_experiment(args.experiment_id.upper(), **kwargs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        _dump_json(result.as_dict(), out)
+    else:
+        print(result.report(), file=out)
     return 0 if result.passed in (True, None) else 1
 
 
 def _command_simulate(args, out) -> int:
-    factories = _network_factories(args)
-    factory = factories[args.network]
+    from repro.core.asynchronous import AsynchronousRumorSpreading
+    from repro.core.synchronous import SynchronousRumorSpreading
+
+    params = _simulate_params(args)
+    factory = lambda: build_network(args.network, rng=args.seed, **params)
     if args.algorithm == "sync":
         runner = SynchronousRumorSpreading().run
     else:
@@ -159,18 +293,181 @@ def _command_simulate(args, out) -> int:
         runner, factory, trials=args.trials, rng=args.seed, workers=args.workers
     )
     probe = factory()
-    rows = [dict({"network": args.network, "nodes": probe.n}, **summary.as_dict())]
+    row = dict({"network": args.network, "nodes": probe.n}, **summary.as_dict())
     unit = "rounds" if args.algorithm == "sync" else "time"
+    if args.json:
+        document = {
+            "network": args.network,
+            "params": params,
+            "algorithm": args.algorithm,
+            "unit": unit,
+            "nodes": probe.n,
+            "trials": args.trials,
+            "seed": args.seed,
+            "summary": summary.as_dict(),
+        }
+        if args.algorithm == "async":
+            document["variant"] = args.variant
+            document["engine"] = args.engine
+        _dump_json(document, out)
+        return 0
     print(
-        format_table(rows, title=f"{args.algorithm} spread {unit} over {args.trials} trials"),
+        format_table([row], title=f"{args.algorithm} spread {unit} over {args.trials} trials"),
         file=out,
     )
+    return 0
+
+
+def _command_report(args, out) -> int:
+    from repro.experiments.reporting import (
+        build_results,
+        render_markdown,
+        results_as_dict,
+        validate_experiment_ids,
+    )
+
+    if args.only is not None:
+        try:
+            validate_experiment_ids(args.only)  # fail fast, before any run
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    results = build_results(
+        scale=args.scale, experiment_ids=args.only, pipeline=_make_pipeline(args)
+    )
+    if args.json:
+        _dump_json(results_as_dict(results), out)
+    else:
+        print(render_markdown(results), file=out)
+    return 0
+
+
+def _scenario_tables(scale: str) -> Dict[str, List[Scenario]]:
+    """Distinct experiment id → declarative scenario table at ``scale``."""
+    from repro.experiments.registry import get_scenario_table
+    from repro.experiments.reporting import distinct_experiment_ids
+
+    return {
+        experiment_id: get_scenario_table(experiment_id)(scale=scale)
+        for experiment_id in distinct_experiment_ids()
+    }
+
+
+def _command_scenarios_list(args, out) -> int:
+    from repro.scenarios.networks import REQUIRED
+
+    tables = _scenario_tables(args.scale)
+    if args.json:
+        document = {
+            "networks": {
+                name: {
+                    "description": get_network_family(name).description,
+                    # REQUIRED parameters serialise as null (no default).
+                    "params": {
+                        key: (None if value is REQUIRED else value)
+                        for key, value in get_network_family(name).defaults.items()
+                    },
+                }
+                for name in network_families()
+            },
+            "experiments": {
+                experiment_id: [scenario.to_dict() for scenario in scenarios]
+                for experiment_id, scenarios in tables.items()
+            },
+        }
+        _dump_json(document, out)
+        return 0
+    family_rows = []
+    for name in network_families():
+        family = get_network_family(name)
+        params = ", ".join(
+            key if value is REQUIRED else f"{key}={value}"
+            for key, value in family.defaults.items()
+        )
+        family_rows.append(
+            {"family": name, "params": params, "description": family.description}
+        )
+    print(format_table(family_rows, title="Registered network families"), file=out)
+    print(file=out)
+    scenario_rows = []
+    for experiment_id, scenarios in tables.items():
+        for scenario in scenarios:
+            scenario_rows.append(
+                {
+                    "experiment": experiment_id,
+                    "label": scenario.label,
+                    "kind": scenario.kind,
+                    "network": scenario.network or "-",
+                    "sweep": (
+                        f"{scenario.sweep_name}={list(scenario.sweep)}"
+                        if scenario.sweep
+                        else ", ".join(f"{k}={v}" for k, v in scenario.params.items()) or "-"
+                    ),
+                    "trials": scenario.trials,
+                }
+            )
+    print(
+        format_table(scenario_rows, title=f"Experiment scenario tables (scale={args.scale})"),
+        file=out,
+    )
+    return 0
+
+
+def _command_scenarios_run(args, out) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if isinstance(document, dict) and "scenarios" in document:
+            raw_scenarios = document["scenarios"]
+        elif isinstance(document, dict):
+            raw_scenarios = [document]
+        else:
+            raw_scenarios = document
+        scenarios = [Scenario.from_dict(raw) for raw in raw_scenarios]
+    except (OSError, ValueError, TypeError) as error:
+        print(f"error: {args.file}: {error}", file=sys.stderr)
+        return 2
+    if not scenarios:
+        print(f"error: {args.file}: no scenarios in file", file=sys.stderr)
+        return 2
+    results = _make_pipeline(args).run(scenarios)
+    if args.json:
+        _dump_json(
+            [
+                {
+                    "label": point.label,
+                    "value": point.value,
+                    "index": point.index,
+                    "key": point.key,
+                    "cached": point.cached,
+                    "payload": point.payload,
+                }
+                for point in results
+            ],
+            out,
+        )
+        return 0
+    rows = []
+    for point in results:
+        row = {
+            "label": point.label,
+            point.scenario.sweep_name: point.value,
+            "cached": point.cached,
+        }
+        summary = point.payload.get("summary")
+        if summary:
+            row.update(
+                {key: summary[key] for key in ("trials", "mean", "whp", "completion_rate")}
+            )
+        rows.append(row)
+    print(format_table(rows, title=f"{len(scenarios)} scenario(s), {len(rows)} point(s)"), file=out)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = sys.stdout if out is None else out
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -178,12 +475,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.command == "experiment":
         return _command_experiment(args, out)
     if args.command == "simulate":
+        error = _validate_simulate_flags(args, _explicit_flags(argv))
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         return _command_simulate(args, out)
     if args.command == "report":
-        from repro.experiments.reporting import build_report
-
-        print(build_report(scale=args.scale, experiment_ids=args.only), file=out)
-        return 0
+        return _command_report(args, out)
+    if args.command == "scenarios":
+        if args.scenarios_command == "list":
+            return _command_scenarios_list(args, out)
+        return _command_scenarios_run(args, out)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

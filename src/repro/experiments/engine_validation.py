@@ -3,55 +3,75 @@
 The boundary engine only simulates informative contacts (an exponential race
 over the informed/uninformed cut); the naive engine simulates every clock tick
 of Definition 1 literally.  The two must agree in distribution.  This
-experiment compares their mean spread times on several small topologies and
-reports the speed advantage of the boundary engine, serving both as a
-correctness check and as the ablation benchmark for the engine design choice
-called out in DESIGN.md.
+experiment runs one declarative scenario per (topology, engine) pair through
+the pipeline and compares the engines' mean spread times per topology,
+serving both as a correctness check and as the ablation benchmark for the
+engine design choice called out in DESIGN.md.
 """
 
 from __future__ import annotations
 
 import math
-import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.analysis.trials import run_trials
-from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.dynamics.dichotomy import DynamicStarNetwork
-from repro.dynamics.sequences import StaticDynamicNetwork
 from repro.experiments.result import ExperimentResult
-from repro.graphs.generators import clique, cycle, path, star
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
+from repro.utils.rng import RngLike
+
+#: (label, network family, size parameter) of each cross-validation topology.
+_CASES = [
+    ("path(6)", "path", 6),
+    ("cycle(8)", "cycle", 8),
+    ("star(8)", "star", 8),
+    ("clique(8)", "clique", 8),
+    ("dynamic star G2(8)", "dynamic-star", 8),
+]
 
 
-def run(scale: str = "small", rng: RngLike = 2027) -> ExperimentResult:
-    """Run experiment E9 and return its :class:`ExperimentResult`."""
+def scenarios(scale: str = "small", rng: RngLike = 2027) -> List[Scenario]:
+    """The declarative E9 scenario table: every case × both engines."""
     trials = 150 if scale == "small" else 600
-    cases = [
-        ("path(6)", lambda: StaticDynamicNetwork(path(range(6)))),
-        ("cycle(8)", lambda: StaticDynamicNetwork(cycle(range(8)))),
-        ("star(8)", lambda: StaticDynamicNetwork(star(0, range(1, 8)))),
-        ("clique(8)", lambda: StaticDynamicNetwork(clique(range(8)))),
-        ("dynamic star G2(8)", lambda: DynamicStarNetwork(8)),
-    ]
-    boundary = AsynchronousRumorSpreading(engine="boundary")
-    naive = AsynchronousRumorSpreading(engine="naive")
-    seeds = spawn_rngs(rng, 2 * len(cases))
-    rows: List[Dict] = []
+    table: List[Scenario] = []
+    for index, (label, family, n) in enumerate(_CASES):
+        for engine_index, engine in enumerate(("boundary", "naive")):
+            table.append(
+                Scenario(
+                    label=f"{label} [{engine}]",
+                    network=family,
+                    sweep=(n,),
+                    engine=engine,
+                    trials=trials,
+                    seed=scenario_seed(rng, 2 * index + engine_index),
+                )
+            )
+    return table
 
-    for index, (name, factory) in enumerate(cases):
-        summary_boundary = run_trials(boundary.run, factory, trials=trials, rng=seeds[2 * index])
-        summary_naive = run_trials(naive.run, factory, trials=trials, rng=seeds[2 * index + 1])
-        mean_b = summary_boundary.mean
-        mean_n = summary_naive.mean
+
+def run(
+    scale: str = "small",
+    rng: RngLike = 2027,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> ExperimentResult:
+    """Run experiment E9 and return its :class:`ExperimentResult`."""
+    pipeline = pipeline if pipeline is not None else ExperimentPipeline()
+    results = pipeline.run(scenarios(scale, rng))
+    by_label = {point.label: point for point in results}
+
+    rows: List[Dict] = []
+    trials = results[0].scenario.trials if results else 0
+    for label, _family, _n in _CASES:
+        summary_boundary = by_label[f"{label} [boundary]"].payload["summary"]
+        summary_naive = by_label[f"{label} [naive]"].payload["summary"]
+        mean_b = summary_boundary["mean"]
+        mean_n = summary_naive["mean"]
         # Two-sample z-style comparison of the means.
         pooled_se = math.sqrt(
-            summary_boundary.std**2 / trials + summary_naive.std**2 / trials
+            summary_boundary["std"] ** 2 / trials + summary_naive["std"] ** 2 / trials
         )
         z_score = abs(mean_b - mean_n) / pooled_se if pooled_se > 0 else 0.0
         rows.append(
             {
-                "network": name,
+                "network": label,
                 "trials": trials,
                 "mean_boundary": mean_b,
                 "mean_naive": mean_n,
@@ -76,4 +96,4 @@ def run(scale: str = "small", rng: RngLike = 2027) -> ExperimentResult:
     )
 
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]

@@ -4,63 +4,74 @@ Claim: starting with all of ``S_0`` informed, the probability that the rumor
 reaches a node of ``S_k`` within one time unit is at most ``(2^k/k!)·Δ`` —
 the expectation bound the paper derives for the *forward 2-push* coupling.
 
-The experiment simulates the forward 2-push process on chains of increasing
-length ``k`` and compares (a) the empirical expected number of informed nodes
-in ``S_k`` after one time unit and (b) the empirical probability that ``S_k``
-was reached at all, against the ``(2^k/k!)·Δ`` bound — which collapses
-super-exponentially once ``k`` passes ``2e``, exactly the mechanism behind the
-Theorem 1.2 lower bound.
+One declarative ``two_push_chain`` scenario sweeps the chain length ``k``;
+each point simulates the forward 2-push process and compares (a) the
+empirical expected number of informed nodes in ``S_k`` after one time unit
+and (b) the empirical probability that ``S_k`` was reached at all, against
+the ``(2^k/k!)·Δ`` bound — which collapses super-exponentially once ``k``
+passes ``2e``, exactly the mechanism behind the Theorem 1.2 lower bound.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.core.variants import forward_two_push_chain, forward_two_push_tail_bound
 from repro.experiments.result import ExperimentResult
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
+from repro.utils.rng import RngLike
 
 
-def run(scale: str = "small", rng: RngLike = 2025) -> ExperimentResult:
-    """Run experiment E8 and return its :class:`ExperimentResult`."""
+def scenarios(scale: str = "small", rng: RngLike = 2025) -> List[Scenario]:
+    """The declarative E8 scenario table (one k-sweep scenario)."""
     if scale == "small":
         delta = 12
-        ks = [1, 2, 4, 6, 8]
+        ks = (1, 2, 4, 6, 8)
         trials = 200
     else:
         delta = 24
-        ks = [1, 2, 4, 6, 8, 10, 12]
+        ks = (1, 2, 4, 6, 8, 10, 12)
         trials = 1000
+    return [
+        Scenario(
+            label="forward 2-push chain",
+            kind="two_push_chain",
+            sweep_name="k",
+            sweep=ks,
+            trials=trials,
+            seed=scenario_seed(rng, 0),
+            options={"delta": delta, "duration": 1.0},
+        )
+    ]
+
+
+def run(
+    scale: str = "small",
+    rng: RngLike = 2025,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> ExperimentResult:
+    """Run experiment E8 and return its :class:`ExperimentResult`."""
+    pipeline = pipeline if pipeline is not None else ExperimentPipeline()
+    results = pipeline.run(scenarios(scale, rng))
 
     rows: List[Dict] = []
-    seeds = spawn_rngs(rng, len(ks))
-    for k, seed in zip(ks, seeds):
-        cluster_sizes = [delta] * (k + 1)
-        reached = 0
-        informed_total = 0
-        trial_seeds = spawn_rngs(seed, trials)
-        for trial_seed in trial_seeds:
-            counts = forward_two_push_chain(cluster_sizes, duration=1.0, rng=trial_seed)
-            informed_total += counts[-1]
-            if counts[-1] > 0:
-                reached += 1
-        bound = forward_two_push_tail_bound(k, delta, duration=1.0)
-        empirical_mean = informed_total / trials
+    for point in results:
+        payload = point.payload
         rows.append(
             {
-                "k": k,
-                "delta": delta,
-                "empirical_E[I(1,k)]": empirical_mean,
-                "bound_(2^k/k!)*delta": bound,
-                "empirical_P[reach S_k]": reached / trials,
-                "within_bound": empirical_mean <= bound * 1.2 + 0.05,
+                "k": payload["k"],
+                "delta": payload["delta"],
+                "empirical_E[I(1,k)]": payload["empirical_mean"],
+                "bound_(2^k/k!)*delta": payload["bound"],
+                "empirical_P[reach S_k]": payload["empirical_reach_probability"],
+                "within_bound": payload["empirical_mean"] <= payload["bound"] * 1.2 + 0.05,
             }
         )
 
     passed = all(row["within_bound"] for row in rows) and rows[-1]["empirical_P[reach S_k]"] <= max(
         0.05, min(1.0, rows[-1]["bound_(2^k/k!)*delta"])
     )
+    delta = rows[-1]["delta"]
+    trials = results[0].scenario.trials if results else 0
     return ExperimentResult(
         experiment_id="E8",
         title="Lemma 4.2: forward 2-push progress along the bipartite chain in one time unit",
@@ -70,10 +81,10 @@ def run(scale: str = "small", rng: RngLike = 2025) -> ExperimentResult:
             "in a single step."
         ),
         rows=rows,
-        derived={"max_k": float(ks[-1])},
+        derived={"max_k": float(rows[-1]["k"])},
         passed=passed,
         notes=f"scale={scale}, delta={delta}, trials per k={trials}",
     )
 
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]

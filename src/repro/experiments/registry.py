@@ -1,8 +1,15 @@
-"""Registry mapping DESIGN.md experiment ids to their runners."""
+"""Registry mapping DESIGN.md experiment ids to their runners.
+
+Every runner accepts ``(scale=..., rng=..., pipeline=...)`` and executes its
+declarative scenario table through the shared
+:class:`repro.scenarios.pipeline.ExperimentPipeline`; the companion
+``SCENARIO_TABLES`` registry exposes each experiment's table builder so the
+CLI can list (and users can export) the scenarios without running anything.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     engine_validation,
@@ -15,6 +22,7 @@ from repro.experiments import (
     theorem_1_7,
 )
 from repro.experiments.result import ExperimentResult
+from repro.scenarios import ExperimentPipeline, Scenario
 from repro.utils.validation import require
 
 #: Experiment id → runner.  E5 and E6 share a runner (both halves of Theorem 1.7).
@@ -30,6 +38,19 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E9": engine_validation.run,
 }
 
+#: Experiment id → declarative scenario table builder (same sharing as above).
+SCENARIO_TABLES: Dict[str, Callable[..., List[Scenario]]] = {
+    "E1": theorem_1_1.scenarios,
+    "E2": theorem_1_2.scenarios,
+    "E3": theorem_1_3.scenarios,
+    "E4": theorem_1_5.scenarios,
+    "E5": theorem_1_7.scenarios,
+    "E6": theorem_1_7.scenarios,
+    "E7": related_work.scenarios,
+    "E8": lemma_4_2.scenarios,
+    "E9": engine_validation.scenarios,
+}
+
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     """Return the runner for ``experiment_id`` (raising on unknown ids)."""
@@ -38,21 +59,41 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     return EXPERIMENTS[experiment_id]
 
 
+def get_scenario_table(experiment_id: str) -> Callable[..., List[Scenario]]:
+    """Return the scenario-table builder for ``experiment_id``."""
+    require(experiment_id in SCENARIO_TABLES, f"unknown experiment id {experiment_id!r}; "
+            f"known ids: {sorted(SCENARIO_TABLES)}")
+    return SCENARIO_TABLES[experiment_id]
+
+
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run one experiment by id, forwarding keyword arguments to its runner."""
     return get_experiment(experiment_id)(**kwargs)
 
 
-def run_all(scale: str = "small") -> Dict[str, ExperimentResult]:
-    """Run every distinct experiment once and return results keyed by id."""
+def run_all(
+    scale: str = "small", pipeline: Optional[ExperimentPipeline] = None
+) -> Dict[str, ExperimentResult]:
+    """Run every distinct experiment once and return results keyed by id.
+
+    Ids sharing a runner (E5/E6) are deduplicated: the shared runner executes
+    once and the result appears under the first id.
+    """
     results: Dict[str, ExperimentResult] = {}
     seen_runners = set()
     for experiment_id, runner in EXPERIMENTS.items():
         if runner in seen_runners:
             continue
         seen_runners.add(runner)
-        results[experiment_id] = runner(scale=scale)
+        results[experiment_id] = runner(scale=scale, pipeline=pipeline)
     return results
 
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "run_all"]
+__all__ = [
+    "EXPERIMENTS",
+    "SCENARIO_TABLES",
+    "get_experiment",
+    "get_scenario_table",
+    "run_all",
+    "run_experiment",
+]

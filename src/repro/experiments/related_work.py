@@ -10,71 +10,72 @@ distribution swings wildly but harmlessly — the canonical example being a
 ``M(G) = (n−1)/3`` while every snapshot is 1-diligent.  Theorem 1.1's
 diligence-based bound stays at ``O(log n)`` on the same sequence.
 
-The experiment measures the actual asynchronous and synchronous spread times
-on that alternating sequence and tabulates both bounds, checking that the [17]
-budget is ~``n/3`` times larger than the Theorem 1.1 budget and that the
-measured times track the latter.
+Three declarative scenarios drive the pipeline: asynchronous and synchronous
+``trials`` sweeps on the alternating sequence, and a ``bound_series`` sweep
+that evaluates both budgets on a realised snapshot sequence (cheap, because
+analytic per-step metrics are attached to the network).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.analysis.trials import run_trials
-from repro.bounds.giakkoupis import giakkoupis_bound
-from repro.bounds.theorems import conductance_diligence_bound, theorem_1_1_threshold
-from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.core.synchronous import SynchronousRumorSpreading
-from repro.dynamics.base import SnapshotRecorder
 from repro.experiments.result import ExperimentResult
-from repro.experiments.standard_networks import alternating_regular_complete_network
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
+from repro.utils.rng import RngLike
 
 
-def run(scale: str = "small", rng: RngLike = 2026, c: float = 1.0) -> ExperimentResult:
-    """Run experiment E7 and return its :class:`ExperimentResult`."""
+def scenarios(scale: str = "small", rng: RngLike = 2026, c: float = 1.0) -> List[Scenario]:
+    """The declarative E7 scenario table."""
     if scale == "small":
-        sizes = [32, 64]
+        sizes = (32, 64)
         trials = 5
     else:
-        sizes = [64, 128, 256]
+        sizes = (64, 128, 256)
         trials = 15
+    common = {"network": "alternating-regular-complete", "params": {"degree": 3}, "sweep": sizes}
+    return [
+        Scenario(label="alternating async", algorithm="async", trials=trials,
+                 seed=scenario_seed(rng, 0), **common),
+        Scenario(label="alternating sync", algorithm="sync", trials=trials,
+                 seed=scenario_seed(rng, 1), **common),
+        Scenario(label="alternating bounds", kind="bound_series",
+                 seed=scenario_seed(rng, 2), options={"c": c, "min_per_step_budget": 0.2},
+                 **common),
+    ]
 
-    async_process = AsynchronousRumorSpreading()
-    sync_process = SynchronousRumorSpreading()
-    seeds = spawn_rngs(rng, 3)
+
+def run(
+    scale: str = "small",
+    rng: RngLike = 2026,
+    c: float = 1.0,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> ExperimentResult:
+    """Run experiment E7 and return its :class:`ExperimentResult`."""
+    pipeline = pipeline if pipeline is not None else ExperimentPipeline()
+    results = pipeline.run(scenarios(scale, rng, c))
+    by_label = {}
+    for point in results:
+        by_label.setdefault(point.label, []).append(point)
+
     rows: List[Dict] = []
-
-    for n in sizes:
-        factory = lambda n=n: alternating_regular_complete_network(n, rng=7)
-        async_summary = run_trials(async_process.run, factory, trials=trials, rng=seeds[0])
-        sync_summary = run_trials(sync_process.run, factory, trials=trials, rng=seeds[1])
-
-        # Evaluate both bounds on a realised snapshot sequence long enough for
-        # the slower budget (Theorem 1.1's, with its explicit constant C) to
-        # be reached.  Analytic per-step metrics are attached to the network,
-        # so recording thousands of steps is cheap.
-        network = factory()
-        recorder = SnapshotRecorder(mode="cheap")
-        network.reset(seeds[2])
-        min_per_step_budget = 0.2  # the regular snapshot's Phi * rho
-        horizon = int(math.ceil(theorem_1_1_threshold(n, c) / min_per_step_budget)) + 10
-        for step in range(horizon):
-            graph = network.graph_for_step(step, frozenset())
-            recorder.record(network, step, graph, informed_count=1)
-        ours = conductance_diligence_bound(
-            recorder.conductance_series(), recorder.diligence_series(), n, c
-        )
-        theirs = giakkoupis_bound(recorder.conductance_series(), recorder.degree_history, n)
+    for async_point, sync_point, bound_point in zip(
+        by_label["alternating async"],
+        by_label["alternating sync"],
+        by_label["alternating bounds"],
+    ):
+        n = async_point.value
+        bounds = bound_point.payload
         rows.append(
             {
                 "n": n,
-                "async_measured_mean": async_summary.mean,
-                "sync_measured_mean": sync_summary.mean,
-                "bound_thm_1_1": ours.bound,
-                "bound_giakkoupis": theirs.bound,
-                "giakkoupis_over_thm_1_1_threshold": theirs.threshold / ours.threshold,
+                "async_measured_mean": async_point.payload["summary"]["mean"],
+                "sync_measured_mean": sync_point.payload["summary"]["mean"],
+                "bound_thm_1_1": bounds["bound_thm_1_1"],
+                "bound_giakkoupis": bounds["bound_giakkoupis"],
+                "giakkoupis_over_thm_1_1_threshold": bounds["threshold_giakkoupis"]
+                / bounds["threshold_thm_1_1"],
                 "M(G)": (n - 1) / 3.0,
             }
         )
@@ -87,6 +88,7 @@ def run(scale: str = "small", rng: RngLike = 2026, c: float = 1.0) -> Experiment
         all(b > a for a, b in zip(ratio_growth, ratio_growth[1:]))
         and all(value < 10 * math.log(row["n"]) for value, row in zip(measured, rows))
     )
+    trials = by_label["alternating async"][0].scenario.trials
     return ExperimentResult(
         experiment_id="E7",
         title="Section 1.2: Theorem 1.1 vs the degree-variation bound of Giakkoupis et al.",
@@ -102,4 +104,4 @@ def run(scale: str = "small", rng: RngLike = 2026, c: float = 1.0) -> Experiment
     )
 
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]

@@ -1,17 +1,24 @@
 """Combined reporting across all experiments.
 
-``build_report`` runs every distinct experiment once and renders a single
-markdown document (claim, regenerated table, derived quantities and verdict
-per experiment) — the programmatic way to regenerate the content summarised in
-EXPERIMENTS.md.  It is exposed on the CLI as ``python -m repro report``.
+``build_report`` runs every distinct experiment once through the shared
+pipeline and renders a single markdown document (claim, regenerated table,
+derived quantities and verdict per experiment) — the programmatic way to
+regenerate the content summarised in EXPERIMENTS.md.  ``build_results`` is
+the structured variant used by the CLI's ``--json`` output.  Both are exposed
+on the CLI as ``python -m repro report``.
+
+Experiment ids are validated **up front** (before any experiment runs), so a
+typo in ``--only`` fails immediately with the list of known ids instead of
+deep inside a long run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.result import ExperimentResult
+from repro.scenarios import ExperimentPipeline
 from repro.utils.validation import require
 
 
@@ -25,6 +32,17 @@ def distinct_experiment_ids() -> Sequence[str]:
         seen.add(runner)
         ids.append(experiment_id)
     return ids
+
+
+def validate_experiment_ids(experiment_ids: Sequence[str]) -> List[str]:
+    """Normalise, dedupe and validate ids, raising early with the known-ids message."""
+    require(len(experiment_ids) > 0, "no experiments requested")
+    normalised = list(dict.fromkeys(
+        experiment_id.upper() for experiment_id in experiment_ids
+    ))
+    for experiment_id in normalised:
+        get_experiment(experiment_id)  # raises "unknown experiment id ..." on a miss
+    return normalised
 
 
 def render_markdown(results: Dict[str, ExperimentResult]) -> str:
@@ -61,27 +79,63 @@ def render_markdown(results: Dict[str, ExperimentResult]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def build_report(
+def build_results(
     scale: str = "small",
     experiment_ids: Optional[Sequence[str]] = None,
     rng_offset: int = 0,
-) -> str:
-    """Run the requested experiments (all by default) and render the report.
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run the requested experiments (all by default) and return the results.
 
     ``rng_offset`` is added to each experiment's default seed path by passing
     it as the seed, so repeated report builds can be made independent.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(distinct_experiment_ids())
-    require(len(ids) > 0, "no experiments requested")
+    ids = validate_experiment_ids(ids)
     results: Dict[str, ExperimentResult] = {}
     for index, experiment_id in enumerate(ids):
-        runner = EXPERIMENTS.get(experiment_id.upper())
-        require(runner is not None, f"unknown experiment id {experiment_id!r}")
-        kwargs = {"scale": scale}
+        runner = get_experiment(experiment_id)
+        kwargs: Dict[str, Any] = {"scale": scale, "pipeline": pipeline}
         if rng_offset:
             kwargs["rng"] = 1000 * (index + 1) + rng_offset
-        results[experiment_id.upper()] = runner(**kwargs)
-    return render_markdown(results)
+        results[experiment_id] = runner(**kwargs)
+    return results
 
 
-__all__ = ["build_report", "distinct_experiment_ids", "render_markdown"]
+def results_as_dict(results: Dict[str, ExperimentResult]) -> Dict[str, Any]:
+    """JSON-ready form of a result set (the ``report --json`` schema)."""
+    checked = [result for result in results.values() if result.passed is not None]
+    return {
+        "passed": sum(1 for result in checked if result.passed),
+        "checked": len(checked),
+        "results": {
+            experiment_id: result.as_dict() for experiment_id, result in results.items()
+        },
+    }
+
+
+def build_report(
+    scale: str = "small",
+    experiment_ids: Optional[Sequence[str]] = None,
+    rng_offset: int = 0,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> str:
+    """Run the requested experiments and render the markdown report."""
+    return render_markdown(
+        build_results(
+            scale=scale,
+            experiment_ids=experiment_ids,
+            rng_offset=rng_offset,
+            pipeline=pipeline,
+        )
+    )
+
+
+__all__ = [
+    "build_report",
+    "build_results",
+    "distinct_experiment_ids",
+    "render_markdown",
+    "results_as_dict",
+    "validate_experiment_ids",
+]

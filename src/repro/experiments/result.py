@@ -46,6 +46,18 @@ class ExperimentResult:
         require(len(self.rows) > 0, "experiment produced no rows")
         return format_table(self.rows, columns=columns, precision=precision, title=self.title)
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the result (the CLI's ``--json`` schema)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "rows": self.rows,
+            "derived": self.derived,
+            "passed": self.passed,
+            "notes": self.notes,
+        }
+
     def report(self) -> str:
         """Full text report: claim, table, derived quantities and verdict."""
         lines = [f"[{self.experiment_id}] {self.title}", f"Claim: {self.claim}", ""]

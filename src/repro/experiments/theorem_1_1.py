@@ -9,30 +9,24 @@ complete sequence, an edge-Markovian evolving graph, and the dynamic star of
 Figure 1(b) — and checks that the measured w.h.p. spread time never exceeds
 the bound evaluated on the realised snapshot sequence (analytic per-step
 metrics where available, measured metrics on small instances otherwise).
+
+The workload is a declarative scenario table (one scenario per network case,
+swept over ``n``) executed by the shared :class:`ExperimentPipeline`; the
+bound wiring below maps each case's payload to its table row.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from repro.analysis.trials import run_trials
 from repro.bounds.theorems import (
     theorem_1_1_threshold,
     theorem_1_3_threshold,
 )
-from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.dynamics.base import DynamicNetwork, SnapshotRecorder
-from repro.dynamics.dichotomy import DynamicStarNetwork
-from repro.dynamics.edge_markovian import EdgeMarkovianNetwork
 from repro.experiments.result import ExperimentResult
-from repro.experiments.standard_networks import (
-    alternating_regular_complete_network,
-    static_clique_network,
-    static_cycle_network,
-    static_star_network,
-)
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
+from repro.utils.rng import RngLike
 from repro.utils.validation import require
 
 
@@ -48,42 +42,35 @@ def constant_rate_theorem_1_3_bound(abs_rho: float, n: int) -> float:
     return math.ceil(theorem_1_3_threshold(n) / abs_rho)
 
 
-def _bound_from_measured_sequence(
-    network_factory: Callable[[], DynamicNetwork],
-    n: int,
-    c: float,
-    rng,
-    sample_steps: int = 20,
-) -> float:
-    """Estimate T(G,c) for a stochastic oblivious network from sampled snapshots.
+#: Per-case analytic bound parameters: label → (Φ, ρ, ρ̄); ``None`` marks a
+#: size-dependent value filled in by :func:`_case_bounds`.
+_CASE_BOUND_PARAMS = {
+    "static clique": (0.5, 1.0, None),
+    "static star": (1.0, 1.0, 1.0),
+    "static cycle": (None, 1.0, 0.5),
+    "dynamic star (G2)": (1.0, 1.0, 1.0),
+    "alternating 3-regular / complete": (0.2, 1.0, None),
+}
 
-    Measures ``Φ·ρ`` exactly on ``sample_steps`` snapshots (with an empty
-    informed set — the bound is a property of the graph sequence) and
-    extrapolates the first-passage time of the Theorem 1.1 budget from their
-    average.  Exact per-snapshot measurement restricts this helper to small
-    ``n``; the extrapolation is accurate because the sequences used here are
-    stationary.
-    """
-    from repro.graphs.metrics import measure_graph
+#: Scenario label of the edge-Markovian case (bounded by measurement instead).
+_MARKOV_LABEL = "edge-Markovian (p=q=0.3)"
 
-    network = network_factory()
-    network.reset(rng)
-    threshold = theorem_1_1_threshold(n, c)
-    budgets = []
-    for step in range(sample_steps):
-        graph = network.graph_for_step(step, frozenset())
-        metrics = network.known_step_metrics(step)
-        if metrics is None:
-            metrics = measure_graph(graph)
-        budgets.append(metrics.conductance * metrics.diligence)
-    average = sum(budgets) / len(budgets)
-    if average <= 0:
-        return math.inf
-    return float(math.ceil(threshold / average))
+#: Scenario label of the sampled Theorem 1.1 bound for the edge-Markovian case.
+_MARKOV_BOUND_LABEL = "edge-Markovian T(G, c) estimate"
 
 
-def run(scale: str = "small", rng: RngLike = 2020, c: float = 1.0) -> ExperimentResult:
-    """Run experiment E1 and return its :class:`ExperimentResult`."""
+def _case_bounds(label: str, n: int, c: float) -> Dict[str, float]:
+    """Theorem 1.1 / 1.3 bounds for one analytic case at node count ``n``."""
+    phi, rho, abs_rho = _CASE_BOUND_PARAMS[label]
+    effective_phi = phi if phi is not None else 1.0 / (n // 2)
+    effective_abs = abs_rho if abs_rho is not None else 1.0 / (n - 1)
+    bound_11 = constant_rate_theorem_1_1_bound(effective_phi, rho, n, c)
+    bound_13 = constant_rate_theorem_1_3_bound(effective_abs, n)
+    return {"bound_T11": bound_11, "bound_Tabs": bound_13}
+
+
+def scenarios(scale: str = "small", rng: RngLike = 2020, c: float = 1.0) -> List[Scenario]:
+    """The declarative E1 scenario table (one scenario per network case)."""
     if scale == "small":
         sizes = [32, 64]
         markov_n = 12
@@ -93,72 +80,100 @@ def run(scale: str = "small", rng: RngLike = 2020, c: float = 1.0) -> Experiment
         markov_n = 14
         trials = 20
 
-    process = AsynchronousRumorSpreading()
-    rows: List[Dict] = []
-    seeds = spawn_rngs(rng, 6)
-
     cases = [
-        ("static clique", static_clique_network, 0.5, 1.0, None),
-        ("static star", static_star_network, 1.0, 1.0, 1.0),
-        ("static cycle", static_cycle_network, None, 1.0, 0.5),
-        ("dynamic star (G2)", lambda n: DynamicStarNetwork(n - 1), 1.0, 1.0, 1.0),
+        ("static clique", "clique", {}, sizes),
+        ("static star", "star", {}, sizes),
+        ("static cycle", "cycle", {}, sizes),
+        # The dynamic star with n-1 leaves has exactly n nodes.
+        ("dynamic star (G2)", "dynamic-star", {}, [n - 1 for n in sizes]),
         (
             "alternating 3-regular / complete",
-            lambda n: alternating_regular_complete_network(n, rng=1),
-            0.2,
-            1.0,
-            None,
+            "alternating-regular-complete",
+            {"degree": 3},
+            [n for n in sizes if (3 * n) % 2 == 0],
         ),
     ]
-
-    for case_index, (name, factory, phi, rho, abs_rho) in enumerate(cases):
-        for n in sizes:
-            if name == "alternating 3-regular / complete" and (3 * n) % 2 != 0:
-                continue
-            summary = run_trials(
-                process.run,
-                lambda n=n, factory=factory: factory(n),
-                trials=trials,
-                rng=seeds[case_index],
-            )
-            effective_phi = phi if phi is not None else 1.0 / (n // 2)
-            bound_11 = constant_rate_theorem_1_1_bound(effective_phi, rho, n, c)
-            effective_abs = abs_rho if abs_rho is not None else 1.0 / (n - 1)
-            bound_13 = constant_rate_theorem_1_3_bound(effective_abs, n)
-            bound = min(bound_11, bound_13)
-            rows.append(
-                {
-                    "network": name,
-                    "n": n,
-                    "measured_whp": summary.whp_spread_time,
-                    "measured_mean": summary.mean,
-                    "bound_T11": bound_11,
-                    "bound_Tabs": bound_13,
-                    "bound_min": bound,
-                    "within_bound": summary.whp_spread_time <= bound,
-                }
-            )
-
-    # Edge-Markovian evolving graph at a size where exact metrics are feasible.
-    markov_factory = lambda: EdgeMarkovianNetwork(
-        markov_n, birth_probability=0.3, death_probability=0.3
+    table = [
+        Scenario(
+            label=label,
+            network=family,
+            params=params,
+            sweep=tuple(sweep),
+            trials=trials,
+            seed=scenario_seed(rng, index),
+        )
+        for index, (label, family, params, sweep) in enumerate(cases)
+    ]
+    # Edge-Markovian evolving graph at a size where exact metrics are feasible;
+    # its Theorem 1.1 budget has no closed form, so a companion scenario
+    # estimates T(G, c) from exactly measured sampled snapshots.
+    table.append(
+        Scenario(
+            label=_MARKOV_LABEL,
+            network="edge-markovian",
+            params={"birth": 0.3, "death": 0.3},
+            sweep=(markov_n,),
+            trials=max(3, trials // 2),
+            seed=scenario_seed(rng, 5),
+        )
     )
-    summary = run_trials(process.run, markov_factory, trials=max(3, trials // 2), rng=seeds[5])
-    bound_estimate = _bound_from_measured_sequence(markov_factory, markov_n, c, seeds[5])
-    markov_tabs = constant_rate_theorem_1_3_bound(1.0 / (markov_n - 1), markov_n)
-    rows.append(
-        {
-            "network": "edge-Markovian (p=q=0.3)",
-            "n": markov_n,
-            "measured_whp": summary.whp_spread_time,
-            "measured_mean": summary.mean,
-            "bound_T11": bound_estimate,
-            "bound_Tabs": markov_tabs,
-            "bound_min": min(bound_estimate, markov_tabs),
-            "within_bound": summary.whp_spread_time <= min(bound_estimate, markov_tabs),
-        }
+    table.append(
+        Scenario(
+            label=_MARKOV_BOUND_LABEL,
+            kind="sequence_bound_estimate",
+            network="edge-markovian",
+            params={"birth": 0.3, "death": 0.3},
+            sweep=(markov_n,),
+            seed=scenario_seed(rng, 5),
+            options={"c": c, "sample_steps": 20},
+        )
     )
+    return table
 
+
+def run(
+    scale: str = "small",
+    rng: RngLike = 2020,
+    c: float = 1.0,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> ExperimentResult:
+    """Run experiment E1 and return its :class:`ExperimentResult`."""
+    pipeline = pipeline if pipeline is not None else ExperimentPipeline()
+    results = pipeline.run(scenarios(scale, rng, c))
+
+    markov_bound = {
+        point.payload["n"]: point.payload["bound_estimate"]
+        for point in results
+        if point.label == _MARKOV_BOUND_LABEL
+    }
+    rows: List[Dict] = []
+    for point in results:
+        if point.label == _MARKOV_BOUND_LABEL:
+            continue
+        n = point.payload["n"]
+        summary = point.payload["summary"]
+        if point.label == _MARKOV_LABEL:
+            bounds = {
+                "bound_T11": markov_bound[n],
+                "bound_Tabs": constant_rate_theorem_1_3_bound(1.0 / (n - 1), n),
+            }
+        else:
+            bounds = _case_bounds(point.label, n, c)
+        bound = min(bounds["bound_T11"], bounds["bound_Tabs"])
+        rows.append(
+            {
+                "network": point.label,
+                "n": n,
+                "measured_whp": summary["whp"],
+                "measured_mean": summary["mean"],
+                "bound_T11": bounds["bound_T11"],
+                "bound_Tabs": bounds["bound_Tabs"],
+                "bound_min": bound,
+                "within_bound": summary["whp"] <= bound,
+            }
+        )
+
+    trials = max(1, results[0].scenario.trials) if results else 0
     passed = all(row["within_bound"] for row in rows)
     violations = sum(1 for row in rows if not row["within_bound"])
     return ExperimentResult(
@@ -175,4 +190,4 @@ def run(scale: str = "small", rng: RngLike = 2020, c: float = 1.0) -> Experiment
     )
 
 
-__all__ = ["run", "constant_rate_theorem_1_1_bound", "constant_rate_theorem_1_3_bound"]
+__all__ = ["run", "scenarios", "constant_rate_theorem_1_1_bound", "constant_rate_theorem_1_3_bound"]

@@ -10,52 +10,26 @@ Claims checked:
   ``Ω(n/(k⌈1/ρ⌉)) = Ω(nρ/k)`` — in particular it *grows* with ``ρ`` at fixed
   ``n`` and ``k``, while the Theorem 1.1 upper bound
   ``O((ρn + k/ρ) log n)`` stays within a polylogarithmic factor.
+
+Two declarative scenarios drive the pipeline: an ``hk_snapshot`` sweep over
+``Δ`` (Observation 4.1) and a ``trials`` sweep over ``ρ`` on the adaptive
+family, the latter using a ``max_time_policy`` derived from the
+construction's own predicted upper bound.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.regression import loglog_slope
-from repro.analysis.trials import run_trials
-from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.dynamics.diligent import DiligentDynamicNetwork, default_chain_length
 from repro.experiments.result import ExperimentResult
-from repro.graphs.hk_delta import build_hk_delta
-from repro.graphs.metrics import absolute_diligence, conductance_spectral_bounds
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
+from repro.utils.rng import RngLike
 
 
-def observation_4_1_rows(n: int, rng) -> List[Dict]:
-    """Measure a single ``H_{k,Δ}`` snapshot against Observation 4.1."""
-    rows: List[Dict] = []
-    k = default_chain_length(n)
-    for delta in (2, 4, max(2, int(math.isqrt(n) // 2))):
-        size_a = n // 4
-        part_a = list(range(size_a))
-        part_b = list(range(size_a, n))
-        built = build_hk_delta(part_a, part_b, k=k, delta=delta, rng=rng)
-        measured_abs = absolute_diligence(built.graph)
-        low, high = conductance_spectral_bounds(built.graph)
-        rows.append(
-            {
-                "quantity": "H_{k,delta} snapshot",
-                "n": n,
-                "k": k,
-                "delta": delta,
-                "analytic_phi": built.analytic_conductance(),
-                "cheeger_lower": low,
-                "cheeger_upper": high,
-                "analytic_abs_diligence": built.analytic_absolute_diligence(),
-                "measured_abs_diligence": measured_abs,
-            }
-        )
-    return rows
-
-
-def run(scale: str = "small", rng: RngLike = 2021) -> ExperimentResult:
-    """Run experiment E2 and return its :class:`ExperimentResult`."""
+def scenarios(scale: str = "small", rng: RngLike = 2021) -> List[Scenario]:
+    """The declarative E2 scenario table."""
     if scale == "small":
         n = 160
         rhos = [0.1, 0.25, 0.5]
@@ -67,38 +41,91 @@ def run(scale: str = "small", rng: RngLike = 2021) -> ExperimentResult:
         trials = 10
         observation_n = 240
 
-    seeds = spawn_rngs(rng, 3)
-    process = AsynchronousRumorSpreading()
-    rows: List[Dict] = []
-
-    # Part 1: Observation 4.1 on standalone snapshots.
-    snapshot_rows = observation_4_1_rows(observation_n, seeds[0])
-
-    # Part 2: spread time on the adaptive family, swept over rho.
-    spread_rows: List[Dict] = []
-    for rho in rhos:
-        network_factory = lambda rho=rho: DiligentDynamicNetwork(n, rho, rng=seeds[1])
-        probe = network_factory()
-        summary = run_trials(
-            process.run,
-            network_factory,
+    deltas = (2, 4, max(2, int(math.isqrt(observation_n) // 2)))
+    return [
+        # Part 1: Observation 4.1 on standalone snapshots (value = Δ).
+        Scenario(
+            label="H_{k,delta} snapshot",
+            kind="hk_snapshot",
+            sweep_name="delta",
+            sweep=deltas,
+            options={"n": observation_n},
+            seed=scenario_seed(rng, 0),
+        ),
+        # Part 2: spread time on the adaptive family, swept over rho.
+        Scenario(
+            label="G(n, rho) spread",
+            network="diligent",
+            params={"n": n},
+            sweep_name="rho",
+            sweep=tuple(rhos),
             trials=trials,
-            rng=seeds[2],
-            max_time=10.0 * probe.predicted_upper_bound(log_factor=2.0) + 1000.0,
-        )
-        spread_rows.append(
-            {
-                "rho": rho,
-                "n": n,
-                "k": probe.k,
-                "delta": probe.delta,
-                "measured_whp": summary.whp_spread_time,
-                "measured_mean": summary.mean,
-                "lower_bound": probe.predicted_lower_bound(),
-                "upper_bound_T11": probe.predicted_upper_bound(log_factor=1.0),
-                "completion_rate": summary.completion_rate,
-            }
-        )
+            seed=scenario_seed(rng, 1),
+            options={
+                "max_time_policy": {
+                    "attr": "predicted_upper_bound",
+                    "kwargs": {"log_factor": 2.0},
+                    "scale": 10.0,
+                    "offset": 1000.0,
+                },
+                "probe": [
+                    "k",
+                    "delta",
+                    {"name": "lower_bound", "attr": "predicted_lower_bound"},
+                    {
+                        "name": "upper_bound_T11",
+                        "attr": "predicted_upper_bound",
+                        "kwargs": {"log_factor": 1.0},
+                    },
+                ],
+            },
+        ),
+    ]
+
+
+def run(
+    scale: str = "small",
+    rng: RngLike = 2021,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> ExperimentResult:
+    """Run experiment E2 and return its :class:`ExperimentResult`."""
+    pipeline = pipeline if pipeline is not None else ExperimentPipeline()
+    results = pipeline.run(scenarios(scale, rng))
+
+    snapshot_rows: List[Dict] = []
+    spread_rows: List[Dict] = []
+    for point in results:
+        payload = point.payload
+        if point.scenario.kind == "hk_snapshot":
+            snapshot_rows.append(
+                {
+                    "quantity": point.label,
+                    "n": payload["n"],
+                    "k": payload["k"],
+                    "delta": payload["delta"],
+                    "analytic_phi": payload["analytic_phi"],
+                    "cheeger_lower": payload["cheeger_lower"],
+                    "cheeger_upper": payload["cheeger_upper"],
+                    "analytic_abs_diligence": payload["analytic_abs_diligence"],
+                    "measured_abs_diligence": payload["measured_abs_diligence"],
+                }
+            )
+        else:
+            summary = payload["summary"]
+            probe = payload["probe"]
+            spread_rows.append(
+                {
+                    "rho": point.value,
+                    "n": payload["n"],
+                    "k": int(probe["k"]),
+                    "delta": int(probe["delta"]),
+                    "measured_whp": summary["whp"],
+                    "measured_mean": summary["mean"],
+                    "lower_bound": probe["lower_bound"],
+                    "upper_bound_T11": probe["upper_bound_T11"],
+                    "completion_rate": summary["completion_rate"],
+                }
+            )
 
     rows = snapshot_rows + spread_rows
 
@@ -122,6 +149,8 @@ def run(scale: str = "small", rng: RngLike = 2021) -> ExperimentResult:
     )
     passed = abs_ok and lower_ok and (math.isnan(slope) or slope > 0)
 
+    trials = results[-1].scenario.trials if spread_rows else 0
+    n = spread_rows[0]["n"] if spread_rows else 0
     return ExperimentResult(
         experiment_id="E2",
         title="Theorem 1.2 / Observation 4.1: the Θ(ρ)-diligent lower-bound family",
@@ -141,4 +170,4 @@ def run(scale: str = "small", rng: RngLike = 2021) -> ExperimentResult:
     )
 
 
-__all__ = ["run", "observation_4_1_rows"]
+__all__ = ["run", "scenarios"]

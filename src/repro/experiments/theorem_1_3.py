@@ -14,83 +14,87 @@ Claims checked:
 Networks exercised: the absolutely-diligent adversarial family, the bridged
 double clique ``G1``, the dynamic star ``G2``, and a mobile-agents network
 whose snapshots are frequently disconnected (contributing nothing to the
-budget on those steps).
+budget on those steps).  Each case is one ``tabs_trials`` scenario: the
+measurement records every realised snapshot with the cheap recorder and
+evaluates the budget per trial.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.bounds.theorems import absolute_diligence_bound, universal_quadratic_bound
-from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.dynamics.absolute_diligent import AbsolutelyDiligentNetwork
-from repro.dynamics.base import SnapshotRecorder
-from repro.dynamics.dichotomy import CliqueBridgeNetwork, DynamicStarNetwork
-from repro.dynamics.mobile_agents import MobileAgentsNetwork
+from repro.bounds.theorems import universal_quadratic_bound
 from repro.experiments.result import ExperimentResult
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
+from repro.utils.rng import RngLike
 
 
-def run(scale: str = "small", rng: RngLike = 2022) -> ExperimentResult:
-    """Run experiment E3 and return its :class:`ExperimentResult`."""
+def scenarios(scale: str = "small", rng: RngLike = 2022) -> List[Scenario]:
+    """The declarative E3 scenario table (one ``tabs_trials`` case each)."""
     if scale == "small":
         trials = 3
         cases = [
-            ("absolutely-diligent (rho=0.25)", lambda: AbsolutelyDiligentNetwork(48, 0.25)),
-            ("bridged cliques G1", lambda: CliqueBridgeNetwork(24)),
-            ("dynamic star G2", lambda: DynamicStarNetwork(24)),
-            ("mobile agents (16 on 6x6)", lambda: MobileAgentsNetwork(16, side=6, radius=1)),
+            ("absolutely-diligent (rho=0.25)", "absolute-diligent", {"n": 48, "rho": 0.25}),
+            ("bridged cliques G1", "clique-bridge", {"n": 24}),
+            ("dynamic star G2", "dynamic-star", {"n": 24}),
+            ("mobile agents (16 on 6x6)", "mobile-agents", {"n": 16, "side": 6}),
         ]
     else:
         trials = 10
         cases = [
-            ("absolutely-diligent (rho=0.1)", lambda: AbsolutelyDiligentNetwork(120, 0.1)),
-            ("absolutely-diligent (rho=0.25)", lambda: AbsolutelyDiligentNetwork(120, 0.25)),
-            ("bridged cliques G1", lambda: CliqueBridgeNetwork(64)),
-            ("dynamic star G2", lambda: DynamicStarNetwork(64)),
-            ("mobile agents (32 on 8x8)", lambda: MobileAgentsNetwork(32, side=8, radius=1)),
+            ("absolutely-diligent (rho=0.1)", "absolute-diligent", {"n": 120, "rho": 0.1}),
+            ("absolutely-diligent (rho=0.25)", "absolute-diligent", {"n": 120, "rho": 0.25}),
+            ("bridged cliques G1", "clique-bridge", {"n": 64}),
+            ("dynamic star G2", "dynamic-star", {"n": 64}),
+            ("mobile agents (32 on 8x8)", "mobile-agents", {"n": 32, "side": 8}),
         ]
+    return [
+        Scenario(
+            label=label,
+            kind="tabs_trials",
+            network=family,
+            params=params,
+            trials=trials,
+            seed=scenario_seed(rng, index),
+        )
+        for index, (label, family, params) in enumerate(cases)
+    ]
 
-    process = AsynchronousRumorSpreading()
-    seeds = spawn_rngs(rng, len(cases) * trials)
+
+def run(
+    scale: str = "small",
+    rng: RngLike = 2022,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> ExperimentResult:
+    """Run experiment E3 and return its :class:`ExperimentResult`."""
+    pipeline = pipeline if pipeline is not None else ExperimentPipeline()
+    results = pipeline.run(scenarios(scale, rng))
+
     rows: List[Dict] = []
-    seed_index = 0
-
-    for name, factory in cases:
-        for trial in range(trials):
-            network = factory()
-            # "cheap" recording measures connectivity and absolute diligence on
-            # every snapshot; known analytic metrics are deliberately not
-            # preferred so the bound is evaluated on measured quantities.
-            recorder = SnapshotRecorder(mode="cheap", prefer_known=False, track_degrees=False)
-            result = process.run(network, rng=seeds[seed_index], recorder=recorder)
-            seed_index += 1
-            evaluation = absolute_diligence_bound(
-                recorder.connectivity_series(),
-                recorder.absolute_diligence_series(),
-                network.n,
-            )
+    trials = 0
+    for point in results:
+        n = point.payload["n"]
+        trials = point.scenario.trials
+        for trial_index, trial in enumerate(point.payload["trials"]):
             # The run stops as soon as the rumor finishes, usually long before
             # the budget of 2n accumulates; the bound then holds a fortiori.
-            bound = evaluation.bound if evaluation.reached else math.inf
-            within = (not result.completed) or (
-                result.spread_time <= bound or not evaluation.reached
+            within = (not trial["completed"]) or (
+                trial["spread_time"] <= trial["bound"] or not trial["reached"]
             )
             rows.append(
                 {
-                    "network": name,
-                    "n": network.n,
-                    "trial": trial,
-                    "completed": result.completed,
-                    "spread_time": result.spread_time,
-                    "steps_recorded": len(recorder.steps),
-                    "budget_accumulated": evaluation.accumulated,
-                    "budget_target": evaluation.threshold,
-                    "Tabs_if_reached": bound,
+                    "network": point.label,
+                    "n": n,
+                    "trial": trial_index,
+                    "completed": trial["completed"],
+                    "spread_time": trial["spread_time"],
+                    "steps_recorded": trial["steps_recorded"],
+                    "budget_accumulated": trial["budget_accumulated"],
+                    "budget_target": trial["budget_target"],
+                    "Tabs_if_reached": trial["bound"],
                     "within_Tabs": within,
-                    "within_2n(n-1)": (not result.completed)
-                    or result.spread_time <= universal_quadratic_bound(network.n),
+                    "within_2n(n-1)": (not trial["completed"])
+                    or trial["spread_time"] <= universal_quadratic_bound(n),
                 }
             )
 
@@ -114,4 +118,4 @@ def run(scale: str = "small", rng: RngLike = 2022) -> ExperimentResult:
     )
 
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]

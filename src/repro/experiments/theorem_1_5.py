@@ -5,9 +5,10 @@ always-connected dynamic network on which the algorithm needs ``Ω(n/ρ)`` time
 with probability ``1 − O(1/n)`` — matching the Theorem 1.3 upper bound
 ``T_abs = Θ(n/ρ)`` up to a constant.
 
-The experiment sweeps ``ρ`` (equivalently the bridge degree ``Δ``) at fixed
-``n``, measures the spread time of the asynchronous push–pull algorithm on the
-adaptive construction, and checks that
+The experiment is one declarative scenario: a ``trials`` sweep over ``ρ``
+(equivalently the bridge degree ``Δ``) at fixed ``n`` on the adaptive
+construction, capped at a multiple of its own ``T_abs`` prediction.  The
+checks are that
 
 * the measured spread time grows linearly with ``Δ ≈ 1/ρ`` (log–log slope
   close to 1), and
@@ -18,18 +19,16 @@ adaptive construction, and checks that
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.regression import loglog_slope
-from repro.analysis.trials import run_trials
-from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.dynamics.absolute_diligent import AbsolutelyDiligentNetwork
 from repro.experiments.result import ExperimentResult
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
+from repro.utils.rng import RngLike
 
 
-def run(scale: str = "small", rng: RngLike = 2023) -> ExperimentResult:
-    """Run experiment E4 and return its :class:`ExperimentResult`."""
+def scenarios(scale: str = "small", rng: RngLike = 2023) -> List[Scenario]:
+    """The declarative E4 scenario table (one ρ-sweep scenario)."""
     if scale == "small":
         n = 96
         rhos = [0.25, 0.125, 1.0 / 12.0]
@@ -38,31 +37,53 @@ def run(scale: str = "small", rng: RngLike = 2023) -> ExperimentResult:
         n = 240
         rhos = [0.25, 0.125, 0.0625, 1.0 / 24.0]
         trials = 10
-
-    process = AsynchronousRumorSpreading()
-    seeds = spawn_rngs(rng, len(rhos))
-    rows: List[Dict] = []
-
-    for rho, seed in zip(rhos, seeds):
-        factory = lambda rho=rho: AbsolutelyDiligentNetwork(n, rho)
-        probe = factory()
-        summary = run_trials(
-            process.run,
-            factory,
+    return [
+        Scenario(
+            label="absolutely-diligent rho sweep",
+            network="absolute-diligent",
+            params={"n": n},
+            sweep_name="rho",
+            sweep=tuple(rhos),
             trials=trials,
-            rng=seed,
-            max_time=4.0 * probe.predicted_absolute_upper_bound(),
+            seed=scenario_seed(rng, 0),
+            options={
+                "max_time_policy": {
+                    "attr": "predicted_absolute_upper_bound",
+                    "scale": 4.0,
+                },
+                "probe": [
+                    "delta",
+                    {"name": "lower_prediction", "attr": "predicted_lower_bound"},
+                    {"name": "upper_Tabs", "attr": "predicted_absolute_upper_bound"},
+                ],
+            },
         )
+    ]
+
+
+def run(
+    scale: str = "small",
+    rng: RngLike = 2023,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> ExperimentResult:
+    """Run experiment E4 and return its :class:`ExperimentResult`."""
+    pipeline = pipeline if pipeline is not None else ExperimentPipeline()
+    results = pipeline.run(scenarios(scale, rng))
+
+    rows: List[Dict] = []
+    for point in results:
+        summary = point.payload["summary"]
+        probe = point.payload["probe"]
         rows.append(
             {
-                "rho": rho,
-                "delta": probe.delta,
-                "n": n,
-                "measured_mean": summary.mean,
-                "measured_whp": summary.whp_spread_time,
-                "lower_prediction_nD/20": probe.predicted_lower_bound(),
-                "upper_Tabs_2n(D+1)": probe.predicted_absolute_upper_bound(),
-                "completion_rate": summary.completion_rate,
+                "rho": point.value,
+                "delta": int(probe["delta"]),
+                "n": point.payload["n"],
+                "measured_mean": summary["mean"],
+                "measured_whp": summary["whp"],
+                "lower_prediction_nD/20": probe["lower_prediction"],
+                "upper_Tabs_2n(D+1)": probe["upper_Tabs"],
+                "completion_rate": summary["completion_rate"],
             }
         )
 
@@ -82,6 +103,8 @@ def run(scale: str = "small", rng: RngLike = 2023) -> ExperimentResult:
     )
     passed = bool(finite) and lower_ok and upper_ok and (0.5 <= slope <= 1.8)
 
+    n = rows[0]["n"] if rows else 0
+    trials = results[0].scenario.trials if results else 0
     return ExperimentResult(
         experiment_id="E4",
         title="Theorem 1.5: Ω(n/ρ) spread time on the absolutely Θ(ρ)-diligent family",
@@ -100,4 +123,4 @@ def run(scale: str = "small", rng: RngLike = 2023) -> ExperimentResult:
     )
 
 
-__all__ = ["run"]
+__all__ = ["run", "scenarios"]

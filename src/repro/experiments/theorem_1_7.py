@@ -10,33 +10,28 @@ Claims checked:
 * (iii) quantitatively, the asynchronous algorithm finishes on ``G2`` within
   ``2k`` time with probability at least ``1 − e^{-k/2−o(1)} − e^{-k−o(1)}``.
 
-The experiment produces the regenerated "Figure 1 table": for a sweep of
-``n``, the mean asynchronous and synchronous spread times on both networks,
-plus the tail comparison of part (iii).
+The workload is five declarative scenarios — G1/G2 × async/sync swept over
+``n``, plus a high-trial G2 run at the largest size whose raw spread times
+feed the part (iii) tail comparison.  The regenerated "Figure 1 table" pairs
+the async/sync payloads per size.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.regression import loglog_slope, semilog_slope
 from repro.analysis.trials import run_trials
 from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.core.synchronous import SynchronousRumorSpreading
-from repro.dynamics.dichotomy import CliqueBridgeNetwork, DynamicStarNetwork
+from repro.dynamics.dichotomy import DynamicStarNetwork
 from repro.experiments.result import ExperimentResult
+from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
 from repro.utils.rng import RngLike, spawn_rngs
 
 
-def part_iii_rows(n: int, ks: List[int], trials: int, rng) -> List[Dict]:
-    """Empirical ``Pr[spread > 2k]`` on the dynamic star versus the theorem tail."""
-    process = AsynchronousRumorSpreading()
-    seeds = spawn_rngs(rng, trials)
-    spread_times = []
-    for seed in seeds:
-        result = process.run(DynamicStarNetwork(n), rng=seed)
-        spread_times.append(result.spread_time)
+def _tail_rows(n: int, ks: List[int], spread_times: List[float]) -> List[Dict]:
+    """Empirical ``Pr[spread > 2k]`` versus the theorem tail, from raw times."""
     rows = []
     for k in ks:
         empirical = sum(1 for value in spread_times if value > 2 * k) / len(spread_times)
@@ -54,88 +49,129 @@ def part_iii_rows(n: int, ks: List[int], trials: int, rng) -> List[Dict]:
     return rows
 
 
-def run(scale: str = "small", rng: RngLike = 2024) -> ExperimentResult:
-    """Run experiments E5/E6 and return their combined :class:`ExperimentResult`."""
+def part_iii_rows(n: int, ks: List[int], trials: int, rng) -> List[Dict]:
+    """Standalone part (iii) measurement (kept for the benchmark suite)."""
+    process = AsynchronousRumorSpreading()
+    summary = run_trials(
+        process.run, lambda: DynamicStarNetwork(n), trials=trials, rng=rng
+    )
+    return _tail_rows(n, ks, summary.spread_times)
+
+
+def scenarios(scale: str = "small", rng: RngLike = 2024) -> List[Scenario]:
+    """The declarative E5/E6 scenario table."""
     if scale == "small":
-        sizes = [32, 64, 128]
+        sizes = (32, 64, 128)
         trials = 30
         tail_trials = 60
-        # k = 2 is below the regime where the e^{-k/2} + e^{-k} tail kicks in
-        # (the theorem's o(1) terms dominate there), so the sweep starts at 4.
-        tail_ks = [4, 6, 8]
     else:
-        sizes = [64, 128, 256, 512]
+        sizes = (64, 128, 256, 512)
         trials = 60
         tail_trials = 400
-        tail_ks = [4, 6, 8, 10]
+    table = [
+        Scenario(
+            label=label,
+            network=family,
+            algorithm=algorithm,
+            sweep=sizes,
+            trials=trials,
+            seed=scenario_seed(rng, index),
+        )
+        for index, (label, family, algorithm) in enumerate(
+            [
+                ("G1 async", "clique-bridge", "async"),
+                ("G1 sync", "clique-bridge", "sync"),
+                ("G2 async", "dynamic-star", "async"),
+                ("G2 sync", "dynamic-star", "sync"),
+            ]
+        )
+    ]
+    table.append(
+        Scenario(
+            label="G2 tail (iii)",
+            network="dynamic-star",
+            sweep=(max(sizes),),
+            trials=tail_trials,
+            seed=scenario_seed(rng, 4),
+        )
+    )
+    return table
 
-    async_process = AsynchronousRumorSpreading()
-    sync_process = SynchronousRumorSpreading()
-    seeds = spawn_rngs(rng, 5)
+
+def run(
+    scale: str = "small",
+    rng: RngLike = 2024,
+    pipeline: Optional[ExperimentPipeline] = None,
+) -> ExperimentResult:
+    """Run experiments E5/E6 and return their combined :class:`ExperimentResult`."""
+    # k = 2 is below the regime where the e^{-k/2} + e^{-k} tail kicks in
+    # (the theorem's o(1) terms dominate there), so the sweep starts at 4.
+    tail_ks = [4, 6, 8] if scale == "small" else [4, 6, 8, 10]
+
+    pipeline = pipeline if pipeline is not None else ExperimentPipeline()
+    results = pipeline.run(scenarios(scale, rng))
+    by_label = {}
+    for point in results:
+        by_label.setdefault(point.label, []).append(point)
+
+    sizes = [point.value for point in by_label["G1 async"]]
+    means = {
+        label: [point.payload["summary"]["mean"] for point in by_label[label]]
+        for label in ("G1 async", "G1 sync", "G2 async", "G2 sync")
+    }
+
     rows: List[Dict] = []
+    for position, n in enumerate(sizes):
+        for network_name, async_label, sync_label in (
+            ("G1 (clique+pendant -> bridged cliques)", "G1 async", "G1 sync"),
+            ("G2 (dynamic star)", "G2 async", "G2 sync"),
+        ):
+            async_mean = means[async_label][position]
+            sync_mean = means[sync_label][position]
+            rows.append(
+                {
+                    "network": network_name,
+                    # G1 has n+1 nodes and G2 n+1 as well; the table keys rows
+                    # by the swept size parameter like the Figure 1 sweep.
+                    "n": n,
+                    "async_mean": async_mean,
+                    "sync_mean_rounds": sync_mean,
+                    "async_over_sync": async_mean / max(sync_mean, 1e-9),
+                }
+            )
 
-    g1_async, g1_sync, g2_async, g2_sync = [], [], [], []
-    for n in sizes:
-        async_g1 = run_trials(
-            async_process.run, lambda n=n: CliqueBridgeNetwork(n), trials=trials, rng=seeds[0]
-        )
-        sync_g1 = run_trials(
-            sync_process.run, lambda n=n: CliqueBridgeNetwork(n), trials=trials, rng=seeds[1]
-        )
-        async_g2 = run_trials(
-            async_process.run, lambda n=n: DynamicStarNetwork(n), trials=trials, rng=seeds[2]
-        )
-        sync_g2 = run_trials(
-            sync_process.run, lambda n=n: DynamicStarNetwork(n), trials=trials, rng=seeds[3]
-        )
-        g1_async.append(async_g1.mean)
-        g1_sync.append(sync_g1.mean)
-        g2_async.append(async_g2.mean)
-        g2_sync.append(sync_g2.mean)
-        rows.append(
-            {
-                "network": "G1 (clique+pendant -> bridged cliques)",
-                "n": n,
-                "async_mean": async_g1.mean,
-                "sync_mean_rounds": sync_g1.mean,
-                "async_over_sync": async_g1.mean / max(sync_g1.mean, 1e-9),
-            }
-        )
-        rows.append(
-            {
-                "network": "G2 (dynamic star)",
-                "n": n,
-                "async_mean": async_g2.mean,
-                "sync_mean_rounds": sync_g2.mean,
-                "async_over_sync": async_g2.mean / max(sync_g2.mean, 1e-9),
-            }
-        )
-
-    tail = part_iii_rows(max(sizes), tail_ks, tail_trials, seeds[4])
+    tail_point = by_label["G2 tail (iii)"][0]
+    tail = _tail_rows(tail_point.value, tail_ks, tail_point.payload["spread_times"])
     rows.extend(tail)
 
     derived = {
-        "G1_async_loglog_slope": loglog_slope(sizes, g1_async),
-        "G1_sync_semilog_slope": semilog_slope(sizes, g1_sync),
-        "G1_sync_loglog_slope": loglog_slope(sizes, g1_sync),
-        "G2_async_loglog_slope": loglog_slope(sizes, g2_async),
-        "G2_sync_loglog_slope": loglog_slope(sizes, g2_sync),
+        "G1_async_loglog_slope": loglog_slope(sizes, means["G1 async"]),
+        "G1_sync_semilog_slope": semilog_slope(sizes, means["G1 sync"]),
+        "G1_sync_loglog_slope": loglog_slope(sizes, means["G1 sync"]),
+        "G2_async_loglog_slope": loglog_slope(sizes, means["G2 async"]),
+        "G2_sync_loglog_slope": loglog_slope(sizes, means["G2 sync"]),
     }
     # Shape checks.  At the modest sizes run here the G1 asynchronous mean is a
     # mixture of the Θ(log n) "caught the pendant window" runs and the Θ(n)
     # "missed it" runs, so its finite-size log-log slope sits well below the
     # asymptotic 1; requiring it to clearly exceed the polylogarithmic slopes
     # (and the synchronous slopes to stay sublinear) captures the dichotomy.
+    sync_exact = [
+        point.payload["summary"]["mean"] == point.value
+        for point in by_label["G2 sync"]
+    ]
     passed = (
         derived["G1_async_loglog_slope"] > 0.35
         and derived["G1_sync_loglog_slope"] < 0.6
         and derived["G1_async_loglog_slope"] > derived["G1_sync_loglog_slope"]
         and derived["G2_sync_loglog_slope"] > 0.9
         and derived["G2_async_loglog_slope"] < 0.6
-        and all(row["sync_mean_rounds"] == row["n"] for row in rows if row["network"].startswith("G2 (dynamic"))
+        and all(sync_exact)
         and all(row["within_bound"] for row in tail)
     )
 
+    trials = by_label["G1 async"][0].scenario.trials
+    tail_trials = tail_point.scenario.trials
     return ExperimentResult(
         experiment_id="E5/E6",
         title="Theorem 1.7: synchronous vs asynchronous dichotomies on G1 and G2",
@@ -150,4 +186,4 @@ def run(scale: str = "small", rng: RngLike = 2024) -> ExperimentResult:
     )
 
 
-__all__ = ["run", "part_iii_rows"]
+__all__ = ["run", "scenarios", "part_iii_rows"]

@@ -1,0 +1,54 @@
+"""Declarative scenarios and the unified experiment pipeline.
+
+This subsystem makes workloads first-class data:
+
+* :mod:`repro.scenarios.networks` — the single network registry (family name
+  → builder + declared parameters) shared by the CLI, the experiments and
+  scenario files;
+* :mod:`repro.scenarios.scenario` — the :class:`Scenario` dataclass
+  (network + parameters + engine/variant/fault model + sweep + trials + seed
+  policy) with dict/JSON round-tripping;
+* :mod:`repro.scenarios.measurements` — measurement kinds turning one
+  scenario point into a JSON payload;
+* :mod:`repro.scenarios.pipeline` — :class:`ExperimentPipeline`, which runs
+  points with process-pool parallelism and content-addressed JSON artifact
+  caching.
+
+Describe *what* to run; the pipeline decides *how* to run it fast.
+"""
+
+from repro.scenarios.measurements import (
+    get_measurement,
+    measure_point,
+    measurement_kinds,
+    measurement_version,
+    register_measurement,
+)
+from repro.scenarios.networks import (
+    NetworkFamily,
+    build_network,
+    get_network_family,
+    network_families,
+    register_network,
+)
+from repro.scenarios.pipeline import ExperimentPipeline, PointResult, default_cache_dir
+from repro.scenarios.scenario import Scenario, ScenarioPoint, scenario_seed
+
+__all__ = [
+    "ExperimentPipeline",
+    "NetworkFamily",
+    "PointResult",
+    "Scenario",
+    "ScenarioPoint",
+    "build_network",
+    "default_cache_dir",
+    "get_measurement",
+    "get_network_family",
+    "measure_point",
+    "measurement_kinds",
+    "measurement_version",
+    "network_families",
+    "register_measurement",
+    "register_network",
+    "scenario_seed",
+]

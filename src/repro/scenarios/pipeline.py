@@ -1,0 +1,200 @@
+"""The unified experiment pipeline: scenario points → payloads, fast.
+
+``ExperimentPipeline`` is the single execution path for every experiment and
+for user-supplied scenario files.  It expands scenarios into independent
+:class:`ScenarioPoint` units and
+
+* runs missing points with **point-level parallelism** over the same forked
+  process pool the trial runner uses (``jobs=k``) — a sweep's points run
+  concurrently instead of serially, and because each point derives its own
+  seed stream from the scenario content, parallel results are identical to
+  serial ones;
+* persists each payload as a **JSON artifact keyed by content hash** of the
+  point spec (scenario dict + sweep value + measurement-kind version), so a
+  re-run — after a crash, on another flag combination, from a different
+  entry point — resumes from cache instead of recomputing;
+* returns results in deterministic scenario/point order regardless of cache
+  state or worker scheduling.
+
+Payloads are normalised through a JSON round-trip even when caching is off,
+so cached and freshly computed runs are byte-for-byte interchangeable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.scenarios.measurements import measure_point
+from repro.scenarios.scenario import Scenario, ScenarioPoint
+from repro.utils.parallel import fork_map
+from repro.utils.validation import require
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory used by the CLI (relative to the working dir).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    """The CLI's default artifact directory (env override, then cwd)."""
+    return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one scenario point.
+
+    ``payload`` is the measurement output (already JSON-normalised);
+    ``cached`` records whether it was loaded from an artifact.
+    """
+
+    scenario: Scenario
+    value: Any
+    index: int
+    key: str
+    payload: Dict[str, Any]
+    cached: bool
+
+    @property
+    def label(self) -> str:
+        """The owning scenario's label."""
+        return self.scenario.label
+
+
+class ExperimentPipeline:
+    """Executes scenario points with parallelism and artifact caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for point-level parallelism.  ``1`` (default) runs
+        points serially; results are identical either way.
+    cache_dir:
+        Directory for JSON artifacts, or ``None`` (default) to disable
+        caching.  The directory is created on first write.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Union[None, str, Path] = None):
+        require(isinstance(jobs, int) and jobs >= 1,
+                f"jobs must be a positive integer, got {jobs!r}")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    # -- cache -------------------------------------------------------------
+
+    def _artifact_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def _load_cached(self, point: ScenarioPoint, key: str) -> Optional[Dict[str, Any]]:
+        path = self._artifact_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (OSError, ValueError):
+            return None  # unreadable/corrupt artifact: recompute
+        if artifact.get("spec") != _normalise(point.spec()):
+            return None  # hash collision or stale format: recompute
+        return artifact.get("payload")
+
+    def _store(self, point: ScenarioPoint, key: str, payload: Dict[str, Any]) -> None:
+        path = self._artifact_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        artifact = {
+            "key": key,
+            "kind": point.scenario.kind,
+            "spec": _normalise(point.spec()),
+            "payload": payload,
+        }
+        # Write-then-rename so concurrent runs never observe a torn artifact.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(artifact, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    # -- execution -----------------------------------------------------------
+
+    def run_scenario(self, scenario: Scenario) -> List[PointResult]:
+        """Run a single scenario's points."""
+        return self.run([scenario])
+
+    def run(self, scenarios: Union[Scenario, Iterable[Scenario]]) -> List[PointResult]:
+        """Run every point of every scenario; results in scenario/point order."""
+        if isinstance(scenarios, Scenario):
+            scenarios = [scenarios]
+        points: List[ScenarioPoint] = [
+            point for scenario in scenarios for point in scenario.points()
+        ]
+        keys = [point.cache_key() for point in points]
+
+        payloads: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        cached_mask = [False] * len(points)
+        missing: List[int] = []
+        for position, (point, key) in enumerate(zip(points, keys)):
+            cached = self._load_cached(point, key)
+            if cached is not None:
+                payloads[position] = cached
+                cached_mask[position] = True
+            else:
+                missing.append(position)
+
+        if missing:
+            fresh = self._compute([points[i] for i in missing])
+            for position, payload in zip(missing, fresh):
+                payload = _normalise(payload)
+                payloads[position] = payload
+                self._store(points[position], keys[position], payload)
+
+        return [
+            PointResult(
+                scenario=point.scenario,
+                value=point.value,
+                index=point.index,
+                key=key,
+                payload=payload,
+                cached=cached,
+            )
+            for point, key, payload, cached in zip(points, keys, payloads, cached_mask)
+        ]
+
+    def _compute(self, points: Sequence[ScenarioPoint]) -> List[Dict[str, Any]]:
+        """Measure ``points``, in parallel when ``jobs > 1`` and fork exists."""
+        if self.jobs > 1 and len(points) > 1:
+            results = fork_map(measure_point, points, self.jobs)
+            if results is not None:
+                return results
+        return [measure_point(point) for point in points]
+
+
+def _normalise(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Round-trip through JSON so fresh and cached payloads are identical.
+
+    ``allow_nan`` keeps ``inf``/``nan`` spread times working (Python's JSON
+    reader accepts the ``Infinity``/``NaN`` literals it writes).
+    """
+    return json.loads(json.dumps(payload, allow_nan=True))
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentPipeline",
+    "PointResult",
+    "default_cache_dir",
+]

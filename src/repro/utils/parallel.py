@@ -1,0 +1,74 @@
+"""Forked process-pool fan-out shared by the trial runner and the pipeline.
+
+Both :func:`repro.analysis.trials.run_trials` and
+:class:`repro.scenarios.pipeline.ExperimentPipeline` distribute independent
+units of work (trials, scenario points) over worker processes.  The work is
+described by arbitrary closures — lambdas over networks, bound methods — which
+are not picklable, so the pool uses the ``fork`` start method and passes the
+callable and its inputs to the children through inherited process memory
+rather than through pickling.
+
+The payload hand-off is serialised by a lock so concurrent ``fork_map`` calls
+from different threads cannot fork workers that inherit each other's payload.
+Workers themselves never call ``fork_map`` again, so the inherited (locked)
+lock is harmless in the children.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+#: Payload inherited by forked workers (set only around a parallel run).
+_FORK_PAYLOAD: Optional[Tuple[Callable, Sequence]] = None
+
+#: Serialises the set-payload / fork-workers / clear-payload window.
+_FORK_LOCK = threading.Lock()
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _forked_call(index: int):
+    """Apply the inherited payload function to item ``index`` in a worker."""
+    fn, items = _FORK_PAYLOAD
+    return fn(items[index])
+
+
+def fork_map(
+    fn: Callable[[Item], Result], items: Sequence[Item], workers: int
+) -> Optional[List[Result]]:
+    """Map ``fn`` over ``items`` using ``workers`` forked processes.
+
+    Results come back in item order (like the built-in ``map``).  Returns
+    ``None`` when the ``fork`` start method is unavailable — the caller is
+    expected to fall back to a serial loop, since without fork the function
+    and items would have to be picklable, which this API does not require.
+    """
+    items = list(items)
+    if not fork_available():
+        return None
+    if not items:
+        return []
+    context = multiprocessing.get_context("fork")
+    global _FORK_PAYLOAD
+    with _FORK_LOCK:
+        _FORK_PAYLOAD = (fn, items)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(items)), mp_context=context
+            ) as pool:
+                chunksize = max(1, len(items) // (4 * workers))
+                return list(pool.map(_forked_call, range(len(items)), chunksize=chunksize))
+        finally:
+            _FORK_PAYLOAD = None
+
+
+__all__ = ["fork_available", "fork_map"]

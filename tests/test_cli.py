@@ -1,6 +1,7 @@
 """Unit tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -109,18 +110,233 @@ class TestCommands:
 
     def test_experiment_command_runs_lemma_4_2(self):
         buffer = io.StringIO()
-        code = main(["experiment", "e8", "--scale", "small", "--seed", "5"], out=buffer)
+        code = main(
+            ["experiment", "e8", "--scale", "small", "--seed", "5", "--no-cache"],
+            out=buffer,
+        )
         assert code == 0
         assert "Lemma 4.2" in buffer.getvalue()
 
-    def test_every_network_choice_has_a_factory(self):
-        from repro.cli import _network_factories
+    def test_every_network_choice_is_a_registered_family(self):
+        from repro.scenarios import build_network, network_families
 
-        args = build_parser().parse_args(
-            ["simulate", "--n", "60", "--rho", "0.25", "--side", "6", "--seed", "0"]
-        )
-        factories = _network_factories(args)
-        assert set(NETWORK_CHOICES) == set(factories)
+        assert set(NETWORK_CHOICES) == set(network_families())
         for name in ("clique", "dynamic-star", "edge-markovian"):
-            network = factories[name]()
+            network = build_network(name, n=60, rng=0)
             assert network.n >= 1
+
+
+class TestSimulateFlagValidation:
+    def run_cli(self, argv):
+        buffer = io.StringIO()
+        code = main(argv, out=buffer)
+        return code, buffer.getvalue()
+
+    def test_sync_rejects_explicit_variant(self, capsys):
+        code, _ = self.run_cli(
+            ["simulate", "--algorithm", "sync", "--variant", "push", "--n", "10", "--trials", "2"]
+        )
+        assert code == 2
+        assert "--variant" in capsys.readouterr().err
+
+    def test_sync_rejects_explicit_engine(self, capsys):
+        code, _ = self.run_cli(
+            ["simulate", "--algorithm", "sync", "--engine", "naive", "--n", "10", "--trials", "2"]
+        )
+        assert code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    def test_sync_without_async_flags_is_fine(self):
+        code, text = self.run_cli(
+            ["simulate", "--algorithm", "sync", "--n", "10", "--trials", "2"]
+        )
+        assert code == 0
+        assert "rounds" in text
+
+    def test_network_irrelevant_rho_rejected(self, capsys):
+        code, _ = self.run_cli(
+            ["simulate", "--network", "clique", "--rho", "0.5", "--n", "10", "--trials", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--rho" in err and "clique" in err
+
+    def test_network_irrelevant_birth_rejected(self, capsys):
+        code, _ = self.run_cli(
+            ["simulate", "--network", "star", "--birth", "0.5", "--n", "10", "--trials", "2"]
+        )
+        assert code == 2
+        assert "--birth" in capsys.readouterr().err
+
+    def test_applicable_flags_accepted(self):
+        code, _ = self.run_cli(
+            ["simulate", "--network", "diligent", "--rho", "0.25", "--n", "48", "--trials", "2"]
+        )
+        assert code == 0
+
+
+class TestJsonOutput:
+    def test_simulate_json_schema(self):
+        buffer = io.StringIO()
+        code = main(
+            ["simulate", "--network", "clique", "--n", "16", "--trials", "3", "--json"],
+            out=buffer,
+        )
+        assert code == 0
+        document = json.loads(buffer.getvalue())
+        assert document["network"] == "clique"
+        assert document["nodes"] == 16
+        assert document["params"] == {"n": 16}
+        assert {"trials", "completion_rate", "mean", "median", "whp", "min", "max", "std"} <= set(
+            document["summary"]
+        )
+
+    def test_experiment_json_schema(self):
+        buffer = io.StringIO()
+        code = main(["experiment", "E8", "--json", "--no-cache"], out=buffer)
+        assert code == 0
+        document = json.loads(buffer.getvalue())
+        assert set(document) == {
+            "experiment_id", "title", "claim", "rows", "derived", "passed", "notes",
+        }
+        assert document["experiment_id"] == "E8"
+        assert document["passed"] is True
+        assert isinstance(document["rows"], list) and document["rows"]
+
+    def test_report_json_schema(self):
+        buffer = io.StringIO()
+        code = main(["report", "--only", "E8", "--json", "--no-cache"], out=buffer)
+        assert code == 0
+        document = json.loads(buffer.getvalue())
+        assert set(document) == {"passed", "checked", "results"}
+        assert set(document["results"]) == {"E8"}
+        assert document["results"]["E8"]["experiment_id"] == "E8"
+
+
+class TestJsonStrictness:
+    def test_infinite_values_serialise_as_strings(self):
+        # E3's Tabs_if_reached column is inf whenever the run finishes before
+        # the budget accumulates — the JSON output must stay RFC-8259 valid.
+        buffer = io.StringIO()
+        code = main(["experiment", "E3", "--json", "--no-cache"], out=buffer)
+        assert code == 0
+        text = buffer.getvalue()
+        document = json.loads(
+            text, parse_constant=lambda token: pytest.fail(f"bare {token} literal emitted")
+        )
+        assert any(
+            row["Tabs_if_reached"] == "Infinity" for row in document["rows"]
+        )
+
+    def test_abbreviated_flags_rejected_not_silently_expanded(self):
+        # With allow_abbrev, `--varia` would expand to --variant and dodge the
+        # sync-flag validation; the parser must reject abbreviations instead.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--algorithm", "sync", "--varia", "push"]
+            )
+
+
+class TestReportIdValidation:
+    def test_bad_only_id_fails_fast_with_known_ids(self, capsys):
+        buffer = io.StringIO()
+        code = main(["report", "--only", "BADID", "--no-cache"], out=buffer)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment id" in err
+        assert "E1" in err and "E9" in err
+
+    def test_lowercase_only_id_accepted(self):
+        buffer = io.StringIO()
+        code = main(["report", "--only", "e8", "--no-cache"], out=buffer)
+        assert code == 0
+        assert "E8" in buffer.getvalue()
+
+    def test_duplicate_only_ids_run_once(self):
+        from repro.experiments.reporting import validate_experiment_ids
+
+        assert validate_experiment_ids(["E8", "e8", "E1"]) == ["E8", "E1"]
+
+
+class TestScenariosCommands:
+    def test_scenarios_list_mentions_families_and_experiments(self):
+        buffer = io.StringIO()
+        code = main(["scenarios", "list"], out=buffer)
+        assert code == 0
+        text = buffer.getvalue()
+        for token in ("clique", "edge-markovian", "E1", "E9", "two_push_chain"):
+            assert token in text
+
+    def test_scenarios_list_json(self):
+        buffer = io.StringIO()
+        code = main(["scenarios", "list", "--json"], out=buffer)
+        assert code == 0
+        document = json.loads(buffer.getvalue())
+        assert "clique" in document["networks"]
+        assert document["networks"]["clique"]["params"] == {"n": None}
+        assert "E1" in document["experiments"]
+
+    def test_scenarios_run_file(self, tmp_path):
+        scenario_file = tmp_path / "scenarios.json"
+        scenario_file.write_text(
+            json.dumps(
+                {
+                    "scenarios": [
+                        {
+                            "label": "tiny clique",
+                            "network": "clique",
+                            "sweep": [8, 12],
+                            "trials": 2,
+                            "seed": 3,
+                        }
+                    ]
+                }
+            )
+        )
+        buffer = io.StringIO()
+        code = main(
+            ["scenarios", "run", str(scenario_file), "--cache-dir", str(tmp_path / "cache")],
+            out=buffer,
+        )
+        assert code == 0
+        assert "tiny clique" in buffer.getvalue()
+
+    def test_scenarios_run_missing_file_clean_error(self, capsys):
+        buffer = io.StringIO()
+        code = main(["scenarios", "run", "/nonexistent/scenarios.json"], out=buffer)
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_scenarios_run_invalid_scenario_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"label": "x", "network": "bogus-family"}))
+        buffer = io.StringIO()
+        code = main(["scenarios", "run", str(bad)], out=buffer)
+        assert code == 2
+        assert "known families" in capsys.readouterr().err
+
+    def test_scenarios_run_empty_file_clean_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        buffer = io.StringIO()
+        code = main(["scenarios", "run", str(empty)], out=buffer)
+        assert code == 2
+        assert "no scenarios" in capsys.readouterr().err
+
+    def test_invalid_jobs_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E8", "--jobs", "0"])
+
+    def test_scenarios_run_json_payloads(self, tmp_path):
+        scenario_file = tmp_path / "one.json"
+        scenario_file.write_text(
+            json.dumps({"label": "one", "network": "star", "sweep": [8], "trials": 2, "seed": 1})
+        )
+        buffer = io.StringIO()
+        code = main(["scenarios", "run", str(scenario_file), "--json", "--no-cache"], out=buffer)
+        assert code == 0
+        points = json.loads(buffer.getvalue())
+        assert len(points) == 1
+        assert points[0]["label"] == "one"
+        assert points[0]["payload"]["n"] == 8
+        assert len(points[0]["payload"]["spread_times"]) == 2
