@@ -68,3 +68,28 @@ def test_bench_parallel_trial_runner(benchmark):
         iterations=1,
     )
     assert summary.completion_rate == 1.0
+
+
+def test_bench_api_single_run_n2000_clique(benchmark):
+    """Facade overhead check: the n=2000 clique run through ``repro.api``.
+
+    Should track ``test_bench_boundary_engine_throughput_n2000_clique`` to
+    within noise — the builder resolves the process and network factory once
+    and then hands off to the same engine code.
+    """
+    from repro import api
+
+    network = StaticDynamicNetwork(clique_csr(range(2000)))
+    builder = api.run(network=network, seed=0)
+    result = benchmark.pedantic(lambda: builder.once(rng=0), rounds=3, iterations=1)
+    assert result.completed
+
+
+def test_bench_api_parallel_trial_runner(benchmark):
+    """The 8×n=300, workers=2 trial workload through ``repro.api``."""
+    from repro import api
+
+    factory = lambda: StaticDynamicNetwork(clique_csr(range(300)))
+    builder = api.run(network=factory, seed=0).trials(8).workers(2)
+    trial_set = benchmark.pedantic(builder.collect, rounds=1, iterations=1)
+    assert trial_set.completion_rate == 1.0

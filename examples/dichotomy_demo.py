@@ -18,10 +18,9 @@ Run with::
 
 import argparse
 
-from repro import AsynchronousRumorSpreading, CliqueBridgeNetwork, DynamicStarNetwork, run_trials
+from repro import CliqueBridgeNetwork, DynamicStarNetwork, api
 from repro.analysis.regression import loglog_slope
 from repro.analysis.tables import format_table
-from repro.core.synchronous import SynchronousRumorSpreading
 
 
 def main() -> None:
@@ -31,23 +30,28 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    async_process = AsynchronousRumorSpreading()
-    sync_process = SynchronousRumorSpreading()
     rows = []
     g1_async, g2_async = [], []
 
     for n in args.sizes:
-        async_g1 = run_trials(
-            async_process.run, lambda n=n: CliqueBridgeNetwork(n), trials=args.trials, rng=args.seed
+        trials = args.trials
+        async_g1 = (
+            api.run(network=lambda n=n: CliqueBridgeNetwork(n), seed=args.seed)
+            .trials(trials).collect()
         )
-        sync_g1 = run_trials(
-            sync_process.run, lambda n=n: CliqueBridgeNetwork(n), trials=args.trials, rng=args.seed + 1
+        sync_g1 = (
+            api.run(network=lambda n=n: CliqueBridgeNetwork(n), algorithm="sync",
+                    seed=args.seed + 1)
+            .trials(trials).collect()
         )
-        async_g2 = run_trials(
-            async_process.run, lambda n=n: DynamicStarNetwork(n), trials=args.trials, rng=args.seed + 2
+        async_g2 = (
+            api.run(network=lambda n=n: DynamicStarNetwork(n), seed=args.seed + 2)
+            .trials(trials).collect()
         )
-        sync_g2 = run_trials(
-            sync_process.run, lambda n=n: DynamicStarNetwork(n), trials=args.trials, rng=args.seed + 3
+        sync_g2 = (
+            api.run(network=lambda n=n: DynamicStarNetwork(n), algorithm="sync",
+                    seed=args.seed + 3)
+            .trials(trials).collect()
         )
         g1_async.append(async_g1.mean)
         g2_async.append(async_g2.mean)

@@ -17,7 +17,7 @@ Run with::
 
 import argparse
 
-from repro import AbsolutelyDiligentNetwork, AsynchronousRumorSpreading, DiligentDynamicNetwork, run_trials
+from repro import AbsolutelyDiligentNetwork, DiligentDynamicNetwork, api
 from repro.analysis.tables import format_table
 
 
@@ -29,13 +29,13 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    process = AsynchronousRumorSpreading()
-
     rows = []
     for rho in args.rhos:
         factory = lambda rho=rho: DiligentDynamicNetwork(args.n, rho, rng=args.seed)
         probe = factory()
-        summary = run_trials(process.run, factory, trials=args.trials, rng=args.seed + 1)
+        summary = (
+            api.run(network=factory, seed=args.seed + 1).trials(args.trials).collect()
+        )
         rows.append(
             {
                 "rho": rho,
@@ -55,7 +55,9 @@ def main() -> None:
             continue
         factory = lambda rho=rho: AbsolutelyDiligentNetwork(args.n, rho, rng=args.seed)
         probe = factory()
-        summary = run_trials(process.run, factory, trials=args.trials, rng=args.seed + 2)
+        summary = (
+            api.run(network=factory, seed=args.seed + 2).trials(args.trials).collect()
+        )
         rows.append(
             {
                 "rho": rho,

@@ -21,7 +21,7 @@ from repro import (
     SnapshotRecorder,
     StaticDynamicNetwork,
     SynchronousRumorSpreading,
-    run_trials,
+    api,
 )
 from repro.analysis.tables import format_table
 from repro.bounds.theorems import bounds_from_recorder
@@ -42,7 +42,9 @@ def main() -> None:
     # 2. The dynamic star G2: asynchronous finishes in Θ(log n) time while the
     #    synchronous algorithm needs exactly n rounds (Theorem 1.7(ii)).
     star = DynamicStarNetwork(100)
-    async_summary = run_trials(process.run, lambda: DynamicStarNetwork(100), trials=10, rng=1)
+    async_summary = (
+        api.run(network=lambda: DynamicStarNetwork(100), seed=1).trials(10).collect()
+    )
     sync_result = SynchronousRumorSpreading().run(DynamicStarNetwork(100), rng=2)
     print("Dynamic star G2 with 101 nodes:")
     print(f"  asynchronous mean spread time over 10 runs: {async_summary.mean:.2f}")

@@ -18,7 +18,17 @@ The package provides:
 * an experiment harness (trials, sweeps, tables, slope fits) and one
   experiment module per theorem, wired to the benchmark suite.
 
-Quickstart::
+Quickstart (the fluent public API)::
+
+    from repro import api
+
+    result = api.run(network="clique", n=50, seed=0).once()
+    print(result.spread.summary())
+
+    trials = api.run(network="clique", n=50, seed=0).trials(20).workers(4).collect()
+    print(trials.summary().as_dict())
+
+The engine classes remain available for direct use::
 
     from repro import AsynchronousRumorSpreading, StaticDynamicNetwork
     from repro.graphs import clique
@@ -48,8 +58,9 @@ from repro.dynamics.mobile_agents import MobileAgentsNetwork
 from repro.analysis.trials import TrialSummary, run_trials
 from repro.analysis.sweep import SweepResult, sweep
 from repro.scenarios import ExperimentPipeline, Scenario, build_network
+from repro import api
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AsynchronousRumorSpreading",
@@ -76,6 +87,7 @@ __all__ = [
     "sweep",
     "ExperimentPipeline",
     "Scenario",
+    "api",
     "build_network",
     "__version__",
 ]

@@ -1,9 +1,16 @@
 """Parameter sweeps over dynamic networks and processes.
 
-A sweep runs :func:`repro.analysis.trials.run_trials` at every value of a
-single parameter and collects a table of summary statistics; this is the shape
-of every experiment in the paper's reproduction ("spread time versus ``n``",
-"spread time versus ``ρ``", ...).
+A sweep runs the trial runner at every value of a single parameter and
+collects a table of summary statistics; this is the shape of every experiment
+in the paper's reproduction ("spread time versus ``n``", "spread time versus
+``ρ``", ...).
+
+:func:`sweep` is now a deprecated adapter over
+:meth:`repro.api.RunBuilder.sweep` — the fluent builder accepts
+engine/variant/fault options identically for single runs, trials and sweeps,
+and returns a columnar :class:`repro.api.SweepFrame`.  The adapter preserves
+the historical signature and seed consumption exactly and converts the frame
+back to a :class:`SweepResult`.
 """
 
 from __future__ import annotations
@@ -11,10 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
-from repro.analysis.trials import DEFAULT_WHP_QUANTILE, TrialSummary, run_trials
+from repro.analysis.trials import DEFAULT_WHP_QUANTILE, TrialSummary
 from repro.core.state import SpreadResult
 from repro.dynamics.base import DynamicNetwork
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.rng import RngLike
 from repro.utils.validation import require
 
 
@@ -90,33 +97,38 @@ def sweep(
         Optional ``(value, summary) -> dict`` adding derived columns (e.g.
         theoretical bounds) to each row.
     workers:
-        Forwarded to :func:`repro.analysis.trials.run_trials`: number of
-        worker processes running each point's trials concurrently.
-    """
-    require(len(values) > 0, "sweep requires at least one parameter value")
-    generators = spawn_rngs(rng, len(values))
-    points: List[SweepPoint] = []
-    for value, point_rng in zip(values, generators):
-        def factory(value=value) -> DynamicNetwork:
-            return network_factory(value)
+        Number of worker processes running each point's trials concurrently.
 
-        source = None
-        if source_for is not None:
-            probe_network = network_factory(value)
-            source = source_for(value, probe_network)
-        summary = run_trials(
-            runner,
-            factory,
-            trials=trials,
-            rng=point_rng,
-            source=source,
-            whp_quantile=whp_quantile,
-            workers=workers,
-            **run_kwargs,
-        )
-        extras = extras_for(value, summary) if extras_for is not None else {}
-        points.append(SweepPoint(value=value, summary=summary, extras=extras))
-    return SweepResult(parameter_name=parameter_name, points=points)
+    .. deprecated::
+        ``sweep`` is a thin adapter over
+        ``repro.api.run(network=factory, ...).trials(k).sweep(values)``; the
+        builder validates engine/variant/fault options identically everywhere
+        and returns a columnar :class:`repro.api.SweepFrame`.
+    """
+    from repro.api._deprecation import warn_once
+    from repro.api.builder import run as api_run
+
+    warn_once(
+        "sweep",
+        "sweep is deprecated; use repro.api.run(network=factory)"
+        ".trials(k).sweep(values) instead",
+    )
+    builder = (
+        api_run(network=network_factory)
+        ._with_runner(runner)
+        .trials(trials)
+        .seed(rng)
+        .whp_quantile(whp_quantile)
+        .keep_results(bool(run_kwargs.pop("keep_results", False)))
+    )
+    if workers is not None:
+        builder = builder.workers(workers)
+    if run_kwargs:
+        builder = builder._with_run_kwargs(**run_kwargs)
+    frame = builder.sweep(
+        values, name=parameter_name, source_for=source_for, extras_for=extras_for
+    )
+    return frame.to_sweep_result()
 
 
 __all__ = ["SweepPoint", "SweepResult", "sweep"]

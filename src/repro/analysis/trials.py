@@ -12,6 +12,11 @@ pass ``workers=k`` to run ``k`` trials concurrently.  ``workers=1`` (the
 default) is the plain serial loop, and because every trial uses the same
 derived generator either way, the parallel path returns bit-identical results
 on platforms with the ``fork`` start method.
+
+:func:`run_trials` is now a deprecated adapter over the unified execution
+path in :mod:`repro.api` (same semantics, same spread times for a fixed
+seed); :class:`TrialSummary` remains the canonical statistics object and
+backs :meth:`repro.api.TrialSet.summary`.
 """
 
 from __future__ import annotations
@@ -19,15 +24,12 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Dict, Hashable, List, Optional
 
 from repro.core.state import SpreadResult
 from repro.dynamics.base import DynamicNetwork
-from repro.utils.parallel import fork_map
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
-from repro.utils.validation import require, require_node_count, require_probability
+from repro.utils.rng import RngLike
+from repro.utils.validation import require, require_probability
 
 #: Default quantile used as the finite-n stand-in for the w.h.p. spread time.
 DEFAULT_WHP_QUANTILE = 0.9
@@ -156,28 +158,6 @@ class TrialSummary:
         }
 
 
-def _run_trials_parallel(
-    runner: Callable[..., SpreadResult],
-    network_factory: Callable[[], DynamicNetwork],
-    generators: Sequence[np.random.Generator],
-    source: Optional[Hashable],
-    workers: int,
-    run_kwargs: Dict,
-) -> Optional[List[SpreadResult]]:
-    """Fan trials out over a process pool; ``None`` when fork is unavailable.
-
-    The closure (runner, factory, generators) reaches the workers through the
-    inherited memory of :func:`repro.utils.parallel.fork_map`, so arbitrary
-    lambdas and bound methods work without being picklable.
-    """
-
-    def one_trial(index: int) -> SpreadResult:
-        network = network_factory()
-        return runner(network, source=source, rng=generators[index], **run_kwargs)
-
-    return fork_map(one_trial, range(len(generators)), workers)
-
-
 def run_trials(
     runner: Callable[..., SpreadResult],
     network_factory: Callable[[], DynamicNetwork],
@@ -190,6 +170,13 @@ def run_trials(
     **run_kwargs,
 ) -> TrialSummary:
     """Run ``trials`` independent runs and summarise their spread times.
+
+    .. deprecated::
+        ``run_trials`` is a thin adapter over :mod:`repro.api` — prefer
+        ``repro.api.run(network=...).trials(k).workers(w).collect()``, which
+        returns a typed :class:`repro.api.TrialSet` and supports observers
+        and adaptive stopping.  The adapter is exact: for a fixed seed it
+        returns the same spread times as it always has.
 
     Parameters
     ----------
@@ -218,31 +205,24 @@ def run_trials(
         that a ``network_factory`` closing over a *shared* generator is only
         reproducible serially.
     """
-    require_node_count(trials, minimum=1, name="trials")
-    if workers is not None:
-        require(
-            isinstance(workers, int) and workers >= 1,
-            f"workers must be a positive integer, got {workers!r}",
-        )
-    generators = spawn_rngs(rng, trials)
-    if workers is not None and workers > 1 and trials > 1:
-        results_list = _run_trials_parallel(
-            runner, network_factory, generators, source, workers, run_kwargs
-        )
-        if results_list is not None:
-            return TrialSummary(
-                spread_times=[result.spread_time for result in results_list],
-                results=results_list if keep_results else [],
-                whp_quantile=whp_quantile,
-            )
-    spread_times: List[float] = []
-    results: List[SpreadResult] = []
-    for trial_rng in generators:
-        network = network_factory()
-        result = runner(network, source=source, rng=trial_rng, **run_kwargs)
-        spread_times.append(result.spread_time)
-        if keep_results:
-            results.append(result)
+    from repro.api._deprecation import warn_once
+    from repro.api._exec import execute_trials
+
+    warn_once(
+        "run_trials",
+        "run_trials is deprecated; use repro.api.run(network=...)"
+        ".trials(k).workers(w).collect() instead",
+    )
+    spread_times, results, _ = execute_trials(
+        runner=runner,
+        factory=network_factory,
+        trials=trials,
+        rng=rng,
+        source=source,
+        workers=1 if workers is None else workers,
+        run_kwargs=run_kwargs,
+        keep_results=keep_results,
+    )
     return TrialSummary(spread_times=spread_times, results=results, whp_quantile=whp_quantile)
 
 

@@ -1,0 +1,63 @@
+"""``repro.api`` — the one fluent, typed public surface of the library.
+
+Everything that executes the rumor-spreading engines goes through here: the
+fluent builder for programs, the scenario bindings for data-driven workloads,
+the streaming observer protocol for anything that watches a run, and the
+result-sink abstraction behind the pipeline's artifact cache.
+
+Quickstart::
+
+    from repro import api
+
+    # one run
+    result = api.run(network="clique", n=200, seed=0).once()
+
+    # parallel trials with adaptive early stopping
+    trials = (
+        api.run(network="edge-markovian", n=128, birth=0.4, death=0.2, seed=7)
+        .trials(until_ci_width=2.0, max_trials=200)
+        .workers(4)
+        .collect()
+    )
+
+    # a sweep, as aligned columns
+    frame = api.run(network="clique", seed=3).trials(20).sweep([64, 128, 256])
+    frame.column("mean")
+
+The legacy entry points (``AsynchronousRumorSpreading(...).run`` for direct
+engine access, and the deprecated ``run_trials`` / ``sweep`` helpers) remain
+available, but new code — and every internal consumer: the CLI, the
+experiments E1–E9, the scenario measurements — speaks this API.
+"""
+
+from repro.api.builder import (
+    NetworkLike,
+    RunBuilder,
+    RunSpec,
+    bind_point,
+    run,
+    sweep_scenario,
+)
+from repro.api.observers import CIWidthRule, EventLog, ObserverChain, RunObserver
+from repro.api.results import RunResult, SweepFrame, TrialSet
+from repro.api.sinks import LocalDirSink, MemorySink, NullSink, ResultSink
+
+__all__ = [
+    "CIWidthRule",
+    "EventLog",
+    "LocalDirSink",
+    "MemorySink",
+    "NetworkLike",
+    "NullSink",
+    "ObserverChain",
+    "ResultSink",
+    "RunBuilder",
+    "RunObserver",
+    "RunResult",
+    "RunSpec",
+    "SweepFrame",
+    "TrialSet",
+    "bind_point",
+    "run",
+    "sweep_scenario",
+]

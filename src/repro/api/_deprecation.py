@@ -1,0 +1,32 @@
+"""Warn-exactly-once plumbing for the pre-``repro.api`` entry points.
+
+The old entry points (``run_trials``, ``sweep``) keep working as thin
+adapters over :mod:`repro.api`, but emit a :class:`DeprecationWarning` the
+first time each is used in a process.  A module-level registry (rather than
+Python's per-call-site ``__warningregistry__``) guarantees *exactly one*
+warning per shim regardless of how many call sites exist, which is what the
+CI deprecation check asserts.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit ``message`` as a DeprecationWarning the first time ``key`` is seen."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_warnings() -> None:
+    """Forget which shims have warned (test helper)."""
+    _WARNED.clear()
+
+
+__all__ = ["reset_warnings", "warn_once"]

@@ -1,0 +1,140 @@
+"""The one trial-execution path behind :mod:`repro.api`.
+
+Everything that runs repeated trials — the fluent builder, the deprecated
+:func:`repro.analysis.trials.run_trials` / :func:`repro.analysis.sweep.sweep`
+shims, the scenario measurements and the CLI — funnels through
+:func:`execute_trials`.  Its contract is exactly the historical trial runner's:
+
+* per-trial generators are spawned from the master seed up front, so trial
+  ``i`` consumes the same generator regardless of ``workers`` or of how many
+  trials end up running (adaptive early stopping consumes a prefix);
+* ``workers > 1`` fans trials over the shared forked process pool
+  (:func:`repro.utils.parallel.fork_map`), falling back to the serial loop on
+  platforms without ``fork``; for a fixed master seed the parallel path
+  returns the same spread times in the same order;
+* an optional :class:`repro.api.observers.RunObserver` receives engine-level
+  hooks (serial execution only — forked children cannot report back) and an
+  ``on_trial`` call per finished trial;
+* an optional stop rule (e.g. :class:`repro.api.observers.CIWidthRule`) is
+  consulted after every completed trial (serial) or batch of ``workers``
+  trials (parallel) and ends the run early.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.state import SpreadResult
+from repro.utils.parallel import fork_map
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.validation import require, require_node_count
+
+
+def _run_batch(
+    runner: Callable[..., SpreadResult],
+    factory: Callable[[], object],
+    generators: Sequence[np.random.Generator],
+    source: Optional[Hashable],
+    workers: int,
+    run_kwargs: Dict,
+) -> Optional[List[SpreadResult]]:
+    """Fan one batch of trials over a process pool; ``None`` without fork.
+
+    The closure (runner, factory, generators) reaches the workers through the
+    inherited memory of :func:`repro.utils.parallel.fork_map`, so arbitrary
+    lambdas and bound methods work without being picklable.
+    """
+
+    def one_trial(index: int) -> SpreadResult:
+        network = factory()
+        return runner(network, source=source, rng=generators[index], **run_kwargs)
+
+    return fork_map(one_trial, range(len(generators)), workers)
+
+
+def execute_trials(
+    runner: Callable[..., SpreadResult],
+    factory: Callable[[], object],
+    trials: int,
+    rng: RngLike = None,
+    source: Optional[Hashable] = None,
+    workers: int = 1,
+    run_kwargs: Optional[Dict] = None,
+    observer=None,
+    stop_rule=None,
+    keep_results: bool = False,
+) -> Tuple[List[float], List[SpreadResult], Optional[int]]:
+    """Run up to ``trials`` independent trials and return their outcomes.
+
+    Returns ``(spread_times, kept_results, n)`` where ``kept_results`` is
+    empty unless ``keep_results`` and ``n`` is the node count observed on the
+    first trial (``None`` when no trial ran — impossible since ``trials >= 1``).
+    With ``stop_rule`` set, ``trials`` is the maximum and the run ends as soon
+    as ``stop_rule.done(spread_times)`` is True.
+    """
+    require_node_count(trials, minimum=1, name="trials")
+    require(
+        isinstance(workers, int) and workers >= 1,
+        f"workers must be a positive integer, got {workers!r}",
+    )
+    run_kwargs = {} if run_kwargs is None else dict(run_kwargs)
+    generators = spawn_rngs(rng, trials)
+
+    spread_times: List[float] = []
+    kept: List[SpreadResult] = []
+    n: Optional[int] = None
+
+    def consume(index: int, result: SpreadResult) -> None:
+        nonlocal n
+        spread_times.append(result.spread_time)
+        if n is None:
+            n = result.n
+        if keep_results:
+            kept.append(result)
+        if observer is not None:
+            observer.on_trial(index, result)
+
+    if stop_rule is None and workers > 1 and trials > 1:
+        # Non-adaptive parallel fast path: one fan-out over every trial.
+        results = _run_batch(runner, factory, generators, source, workers, run_kwargs)
+        if results is not None:
+            for index, result in enumerate(results):
+                consume(index, result)
+            return spread_times, kept, n
+
+    serial_kwargs = dict(run_kwargs)
+    if observer is not None:
+        # Engine-level hooks fire only on the serial path; forked children
+        # cannot report back to the parent process.
+        serial_kwargs["observer"] = observer
+
+    index = 0
+    # Batches grow geometrically (workers, 2·workers, ... up to 4·workers)
+    # so an adaptive parallel run forks O(log) pools instead of one per
+    # `workers` trials, while keeping the trial schedule deterministic.
+    batch_size = workers
+    while index < trials:
+        if stop_rule is not None and workers > 1:
+            batch = generators[index : index + batch_size]
+            results = _run_batch(runner, factory, batch, source, workers, run_kwargs)
+            if results is not None:
+                for result in results:
+                    consume(index, result)
+                    index += 1
+                if stop_rule.done(spread_times):
+                    break
+                batch_size = min(batch_size * 2, 4 * workers)
+                continue
+        network = factory()
+        result = runner(network, source=source, rng=generators[index], **serial_kwargs)
+        consume(index, result)
+        index += 1
+        if stop_rule is not None and stop_rule.done(spread_times):
+            break
+
+    return spread_times, kept, n
+
+
+__all__ = ["execute_trials"]

@@ -1,0 +1,158 @@
+"""Streaming run observers: one hook interface for everything that watches a run.
+
+Progress bars, live metrics, early stopping and (per the roadmap) remote
+execution all need the same thing: a stream of events out of a running
+simulation.  :class:`RunObserver` is that stream's receiver.  Both engines
+(asynchronous boundary/naive and synchronous) accept an ``observer`` argument
+on ``run`` and feed it:
+
+``on_snapshot(step, snapshot, informed_count)``
+    A new snapshot ``G(step)`` was exposed (both engines; for the synchronous
+    engine this fires at the beginning of every round).
+``on_event(time, node, informed_count)``
+    ``node`` became informed at ``time`` (continuous time for asynchronous
+    runs, the round index for synchronous runs).  ``informed_count`` is the
+    number of informed nodes *after* the event.
+``on_round(round_index, informed_count)``
+    A synchronous round finished (synchronous engine only).
+``on_complete(result)``
+    The run ended; ``result`` is the final :class:`repro.core.state.SpreadResult`.
+``on_trial(index, result)``
+    Trial-level hook fired by the :mod:`repro.api` trial executor after each
+    trial of a multi-trial run (not by the engines themselves).
+
+All methods are no-ops on the base class, so observers override only what
+they need.  Observers attached via :meth:`repro.api.RunBuilder.observe` are
+threaded into the engines for serial execution; with ``workers > 1`` the
+engine-level hooks fire inside the worker processes (invisible to the parent)
+and only ``on_trial`` is replayed in the parent as results are collected.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import TYPE_CHECKING, Hashable, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api <- core)
+    from repro.core.state import SpreadResult
+    from repro.graphs.csr import CsrSnapshot
+
+
+class RunObserver:
+    """Base observer: every hook is a no-op.  Subclass and override."""
+
+    def on_snapshot(self, step: int, snapshot: "CsrSnapshot", informed_count: int) -> None:
+        """A new snapshot was exposed at ``step``."""
+
+    def on_event(self, time: float, node: Hashable, informed_count: int) -> None:
+        """``node`` became informed at ``time``."""
+
+    def on_round(self, round_index: int, informed_count: int) -> None:
+        """A synchronous round finished."""
+
+    def on_complete(self, result: "SpreadResult") -> None:
+        """The run ended with ``result``."""
+
+    def on_trial(self, index: int, result: "SpreadResult") -> None:
+        """Trial ``index`` of a multi-trial run finished with ``result``."""
+
+
+class ObserverChain(RunObserver):
+    """Fans every hook out to an ordered list of observers."""
+
+    def __init__(self, observers: Sequence[RunObserver]):
+        self.observers: Tuple[RunObserver, ...] = tuple(observers)
+
+    def on_snapshot(self, step, snapshot, informed_count) -> None:
+        for observer in self.observers:
+            observer.on_snapshot(step, snapshot, informed_count)
+
+    def on_event(self, time, node, informed_count) -> None:
+        for observer in self.observers:
+            observer.on_event(time, node, informed_count)
+
+    def on_round(self, round_index, informed_count) -> None:
+        for observer in self.observers:
+            observer.on_round(round_index, informed_count)
+
+    def on_complete(self, result) -> None:
+        for observer in self.observers:
+            observer.on_complete(result)
+
+    def on_trial(self, index, result) -> None:
+        for observer in self.observers:
+            observer.on_trial(index, result)
+
+
+class EventLog(RunObserver):
+    """Records every hook call as a ``(kind, payload...)`` tuple.
+
+    Useful for tests (event-ordering assertions) and for debugging a
+    construction's adaptive behaviour; ``events`` holds tuples
+    ``("snapshot", step, informed)``, ``("event", time, node, informed)``,
+    ``("round", round_index, informed)``, ``("complete", spread_time)`` and
+    ``("trial", index, spread_time)`` in arrival order.
+    """
+
+    def __init__(self):
+        self.events: List[tuple] = []
+
+    def on_snapshot(self, step, snapshot, informed_count) -> None:
+        self.events.append(("snapshot", step, informed_count))
+
+    def on_event(self, time, node, informed_count) -> None:
+        self.events.append(("event", time, node, informed_count))
+
+    def on_round(self, round_index, informed_count) -> None:
+        self.events.append(("round", round_index, informed_count))
+
+    def on_complete(self, result) -> None:
+        self.events.append(("complete", result.spread_time))
+
+    def on_trial(self, index, result) -> None:
+        self.events.append(("trial", index, result.spread_time))
+
+    def of_kind(self, kind: str) -> List[tuple]:
+        """The recorded events of one kind, in arrival order."""
+        return [event for event in self.events if event[0] == kind]
+
+
+class CIWidthRule:
+    """Early-stopping rule: stop once the mean's confidence interval is tight.
+
+    ``done(spread_times)`` is True when the normal-approximation confidence
+    interval for the mean spread time (the same ``z``-interval
+    :meth:`repro.analysis.trials.TrialSummary.mean_confidence_interval`
+    reports) has total width at most ``target`` — i.e.
+    ``2 z s / sqrt(k) <= target`` over the ``k`` completed trials.  At least
+    ``min_trials`` completed trials are required before stopping, since a
+    single observation has no width estimate.
+    """
+
+    def __init__(self, target: float, z: float = 1.96, min_trials: int = 2):
+        if not (isinstance(target, (int, float)) and target > 0):
+            raise ValueError(f"until_ci_width must be a positive number, got {target!r}")
+        if min_trials < 2:
+            raise ValueError(f"min_trials must be at least 2, got {min_trials}")
+        self.target = float(target)
+        self.z = float(z)
+        self.min_trials = int(min_trials)
+
+    def width(self, spread_times: Sequence[float]) -> float:
+        """Current confidence-interval width (``inf`` until it is defined)."""
+        completed = [value for value in spread_times if math.isfinite(value)]
+        if len(completed) < self.min_trials:
+            return math.inf
+        deviation = statistics.stdev(completed)
+        return 2.0 * self.z * deviation / math.sqrt(len(completed))
+
+    def done(self, spread_times: Sequence[float]) -> bool:
+        """True when enough trials have run for the target width."""
+        completed = [value for value in spread_times if math.isfinite(value)]
+        if len(completed) < self.min_trials:
+            return False
+        return self.width(spread_times) <= self.target
+
+
+__all__ = ["CIWidthRule", "EventLog", "ObserverChain", "RunObserver"]

@@ -1,0 +1,115 @@
+"""Result sinks: pluggable artifact stores for computed payloads.
+
+The experiment pipeline used to hard-code its JSON artifact cache; the
+content-addressed keys make that store a clean interface instead.  A
+:class:`ResultSink` maps ``(key, spec)`` to a JSON payload:
+
+* ``load(key, spec)`` returns the stored payload, or ``None`` on a miss —
+  including when something *is* stored under ``key`` but its recorded spec
+  differs (hash collision or stale format);
+* ``store(key, spec, kind, payload)`` persists a freshly computed payload.
+
+Built-in sinks: :class:`LocalDirSink` (one JSON file per key in a directory —
+the pipeline's historical cache, byte-for-byte), :class:`MemorySink` (a dict,
+for tests and composition) and :class:`NullSink` (never stores anything).
+A shared artifact store for cross-machine reuse (see ROADMAP) is another
+``ResultSink`` implementation away.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+
+class ResultSink(ABC):
+    """Abstract payload store keyed by content hash + canonical spec."""
+
+    @abstractmethod
+    def load(self, key: str, spec: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Return the payload stored under ``key`` (``None`` on any miss)."""
+
+    @abstractmethod
+    def store(self, key: str, spec: Dict[str, Any], kind: str, payload: Dict[str, Any]) -> None:
+        """Persist ``payload`` under ``key`` with its identifying ``spec``."""
+
+
+class NullSink(ResultSink):
+    """A sink that stores nothing (caching disabled)."""
+
+    def load(self, key, spec):
+        return None
+
+    def store(self, key, spec, kind, payload):
+        return None
+
+
+class MemorySink(ResultSink):
+    """An in-process dict-backed sink (tests, composition, future tiering)."""
+
+    def __init__(self):
+        self._artifacts: Dict[str, Dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def load(self, key, spec):
+        artifact = self._artifacts.get(key)
+        if artifact is None or artifact.get("spec") != spec:
+            return None
+        return artifact.get("payload")
+
+    def store(self, key, spec, kind, payload):
+        self._artifacts[key] = {"key": key, "kind": kind, "spec": spec, "payload": payload}
+
+
+class LocalDirSink(ResultSink):
+    """One JSON artifact per key in a local directory.
+
+    The artifact format is exactly the pipeline's historical cache format
+    (``{"key", "kind", "spec", "payload"}``, sorted keys), so existing cache
+    directories keep working.  Writes go through write-then-rename so
+    concurrent runs never observe a torn artifact; unreadable or corrupt
+    artifacts read as misses and are recomputed.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key, spec):
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (OSError, ValueError):
+            return None  # unreadable/corrupt artifact: recompute
+        if artifact.get("spec") != spec:
+            return None  # hash collision or stale format: recompute
+        return artifact.get("payload")
+
+    def store(self, key, spec, kind, payload):
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        artifact = {"key": key, "kind": kind, "spec": spec, "payload": payload}
+        # Write-then-rename so concurrent runs never observe a torn artifact.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(artifact, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+
+__all__ = ["LocalDirSink", "MemorySink", "NullSink", "ResultSink"]

@@ -34,13 +34,12 @@ import math
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import api
 from repro.analysis.tables import format_table
-from repro.analysis.trials import run_trials
 from repro.core.variants import Variant
 from repro.scenarios import (
     ExperimentPipeline,
     Scenario,
-    build_network,
     default_cache_dir,
     get_network_family,
     network_families,
@@ -278,39 +277,29 @@ def _command_experiment(args, out) -> int:
 
 
 def _command_simulate(args, out) -> int:
-    from repro.core.asynchronous import AsynchronousRumorSpreading
-    from repro.core.synchronous import SynchronousRumorSpreading
-
     params = _simulate_params(args)
-    factory = lambda: build_network(args.network, rng=args.seed, **params)
-    if args.algorithm == "sync":
-        runner = SynchronousRumorSpreading().run
-    else:
-        runner = AsynchronousRumorSpreading(
-            variant=Variant(args.variant), engine=args.engine
-        ).run
-    summary = run_trials(
-        runner, factory, trials=args.trials, rng=args.seed, workers=args.workers
+    trial_set = (
+        api.run(
+            network=args.network,
+            params=params,
+            algorithm=args.algorithm,
+            variant=args.variant,
+            engine=args.engine,
+            seed=args.seed,
+            network_seed=args.seed,
+        )
+        .trials(args.trials)
+        .workers(args.workers)
+        .collect()
     )
-    probe = factory()
-    row = dict({"network": args.network, "nodes": probe.n}, **summary.as_dict())
-    unit = "rounds" if args.algorithm == "sync" else "time"
     if args.json:
-        document = {
-            "network": args.network,
-            "params": params,
-            "algorithm": args.algorithm,
-            "unit": unit,
-            "nodes": probe.n,
-            "trials": args.trials,
-            "seed": args.seed,
-            "summary": summary.as_dict(),
-        }
-        if args.algorithm == "async":
-            document["variant"] = args.variant
-            document["engine"] = args.engine
-        _dump_json(document, out)
+        _dump_json(trial_set.as_dict(), out)
         return 0
+    row = dict(
+        {"network": args.network, "nodes": trial_set.nodes},
+        **trial_set.summary().as_dict(),
+    )
+    unit = trial_set.spec.unit
     print(
         format_table([row], title=f"{args.algorithm} spread {unit} over {args.trials} trials"),
         file=out,

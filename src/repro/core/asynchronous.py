@@ -45,7 +45,7 @@ message drops and scheduled crashes).
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,6 +56,9 @@ from repro.dynamics.base import DynamicNetwork, SnapshotRecorder
 from repro.graphs.csr import CsrSnapshot
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (repro.api imports this module)
+    from repro.api.observers import RunObserver
 
 #: Total-rate threshold below which the boundary engine treats the cut as empty.
 RATE_EPSILON = 1e-15
@@ -122,6 +125,7 @@ class AsynchronousRumorSpreading:
         rng: RngLike = None,
         max_time: Optional[float] = None,
         recorder: Optional[SnapshotRecorder] = None,
+        observer: Optional["RunObserver"] = None,
     ) -> SpreadResult:
         """Run the process once and return its :class:`SpreadResult`.
 
@@ -139,6 +143,11 @@ class AsynchronousRumorSpreading:
         recorder:
             Optional :class:`SnapshotRecorder` fed every snapshot the run
             uses, for post-hoc evaluation of the paper's bounds.
+        observer:
+            Optional streaming :class:`repro.api.observers.RunObserver`:
+            ``on_snapshot`` fires when a snapshot is exposed, ``on_event``
+            when a node becomes informed, ``on_complete`` with the final
+            result.
         """
         gen = ensure_rng(rng)
         source = network.default_source() if source is None else source
@@ -146,8 +155,8 @@ class AsynchronousRumorSpreading:
         limit = default_time_limit(network.n) if max_time is None else max_time
         require_positive(limit, "max_time")
         if self.engine == "boundary":
-            return self._run_boundary(network, source, gen, limit, recorder)
-        return self._run_naive(network, source, gen, limit, recorder)
+            return self._run_boundary(network, source, gen, limit, recorder, observer)
+        return self._run_naive(network, source, gen, limit, recorder, observer)
 
     # ------------------------------------------------------------------
     # boundary engine
@@ -208,6 +217,7 @@ class AsynchronousRumorSpreading:
         gen: np.random.Generator,
         limit: float,
         recorder: Optional[SnapshotRecorder],
+        observer: Optional["RunObserver"] = None,
     ) -> SpreadResult:
         network.reset(gen)
         nodes = network.nodes
@@ -232,6 +242,8 @@ class AsynchronousRumorSpreading:
         snapshot = network.snapshot_for_step(step, informed_labels)
         if recorder is not None:
             recorder.record(network, step, snapshot, len(informed_labels))
+        if observer is not None:
+            observer.on_snapshot(step, snapshot, len(informed_labels))
         rates, total_rate = self._build_rates(snapshot, informed, down)
 
         while remaining > 0 and tau < limit:
@@ -251,6 +263,8 @@ class AsynchronousRumorSpreading:
                     informed_time[new_id] = tau
                     informed_labels.add(nodes[new_id])
                     remaining -= 1
+                    if observer is not None:
+                        observer.on_event(tau, nodes[new_id], len(informed_labels))
                     total_rate -= float(rates[new_id])
                     rates[new_id] = 0.0
                     neighbours = snapshot.neighbors(new_id)
@@ -283,6 +297,8 @@ class AsynchronousRumorSpreading:
                     snapshot = network.snapshot_for_step(step, informed_labels)
                     if recorder is not None:
                         recorder.record(network, step, snapshot, len(informed_labels))
+                    if observer is not None:
+                        observer.on_snapshot(step, snapshot, len(informed_labels))
                     if snapshot is not previous_snapshot:
                         rates, total_rate = self._build_rates(snapshot, informed, down)
 
@@ -292,7 +308,7 @@ class AsynchronousRumorSpreading:
             nodes[int(i)]: float(informed_time[int(i)]) for i in informed_ids
         }
         spread_time = max(informed_times.values()) if completed else math.inf
-        return SpreadResult(
+        result = SpreadResult(
             spread_time=spread_time,
             informed_times=informed_times,
             completed=completed,
@@ -302,6 +318,9 @@ class AsynchronousRumorSpreading:
             synchronous=False,
             events=events,
         )
+        if observer is not None:
+            observer.on_complete(result)
+        return result
 
     # ------------------------------------------------------------------
     # naive engine
@@ -314,6 +333,7 @@ class AsynchronousRumorSpreading:
         gen: np.random.Generator,
         limit: float,
         recorder: Optional[SnapshotRecorder],
+        observer: Optional["RunObserver"] = None,
     ) -> SpreadResult:
         network.reset(gen)
         nodes = network.nodes
@@ -347,6 +367,8 @@ class AsynchronousRumorSpreading:
         snapshot = network.snapshot_for_step(step, informed_labels)
         if recorder is not None:
             recorder.record(network, step, snapshot, len(informed_labels))
+        if observer is not None:
+            observer.on_snapshot(step, snapshot, len(informed_labels))
 
         while remaining > 0 and tau < limit:
             total_rate = per_node_rate * n
@@ -360,6 +382,8 @@ class AsynchronousRumorSpreading:
                 snapshot = network.snapshot_for_step(step, informed_labels)
                 if recorder is not None:
                     recorder.record(network, step, snapshot, len(informed_labels))
+                if observer is not None:
+                    observer.on_snapshot(step, snapshot, len(informed_labels))
                 continue
             tau += wait
             apply_crashes(tau)
@@ -381,6 +405,8 @@ class AsynchronousRumorSpreading:
                 informed_time[newly] = tau
                 informed_labels.add(nodes[newly])
                 remaining -= 1
+                if observer is not None:
+                    observer.on_event(tau, nodes[newly], len(informed_labels))
 
         apply_crashes(tau)
         completed = remaining == 0
@@ -389,7 +415,7 @@ class AsynchronousRumorSpreading:
             nodes[int(i)]: float(informed_time[int(i)]) for i in informed_ids
         }
         spread_time = max(informed_times.values()) if completed else math.inf
-        return SpreadResult(
+        result = SpreadResult(
             spread_time=spread_time,
             informed_times=informed_times,
             completed=completed,
@@ -399,6 +425,9 @@ class AsynchronousRumorSpreading:
             synchronous=False,
             events=events,
         )
+        if observer is not None:
+            observer.on_complete(result)
+        return result
 
     def _exchange_ids(self, caller: int, callee: int, informed: np.ndarray) -> Optional[int]:
         """Return the compact id newly informed by one contact, or ``None``."""

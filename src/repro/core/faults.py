@@ -77,4 +77,43 @@ class FaultModel:
         return frozenset(node for node in nodes if not self.is_down(node, time))
 
 
-__all__ = ["FaultModel"]
+def fault_model_from_data(data: Optional[Mapping]) -> FaultModel:
+    """Build a :class:`FaultModel` from plain (JSON-shaped) data.
+
+    This is the single coercion path shared by scenario files and
+    :mod:`repro.api`: accepted fields are ``drop_probability``,
+    ``crashed_nodes`` and ``crash_times``; unknown fields are rejected.  JSON
+    object keys are always strings, so crash-time keys (and crashed node
+    entries) that look like integers are coerced back to ``int`` to match the
+    integer node labels the built-in families use.
+    """
+    if not data:
+        return FaultModel.none()
+    known = {"drop_probability", "crashed_nodes", "crash_times"}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown fault field(s) {unknown}; known fields: {sorted(known)}"
+        )
+
+    def node_label(value):
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                return value
+        return value
+
+    return FaultModel(
+        drop_probability=float(data.get("drop_probability", 0.0)),
+        crashed_nodes=frozenset(
+            node_label(node) for node in data.get("crashed_nodes", ())
+        ),
+        crash_times={
+            node_label(node): float(time)
+            for node, time in dict(data.get("crash_times", {})).items()
+        },
+    )
+
+
+__all__ = ["FaultModel", "fault_model_from_data"]

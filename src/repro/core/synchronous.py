@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, Hashable, Optional, Set
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Set
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.dynamics.base import DynamicNetwork, SnapshotRecorder
 from repro.graphs.csr import concatenated_neighbors
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (repro.api imports this module)
+    from repro.api.observers import RunObserver
 
 
 class SyncVariant(enum.Enum):
@@ -67,6 +70,7 @@ class SynchronousRumorSpreading:
         rng: RngLike = None,
         max_rounds: Optional[int] = None,
         recorder: Optional[SnapshotRecorder] = None,
+        observer: Optional["RunObserver"] = None,
     ) -> SpreadResult:
         """Run the synchronous process once.
 
@@ -74,6 +78,13 @@ class SynchronousRumorSpreading:
         ``spread_time`` / ``informed_times`` count rounds: a node informed
         during round ``t`` (i.e. between exposing ``G(t)`` and ``G(t+1)``) is
         recorded at time ``t + 1``.
+
+        ``observer`` is an optional streaming
+        :class:`repro.api.observers.RunObserver`: per round it receives
+        ``on_snapshot`` (the exposed ``G(t)``), one ``on_event`` per newly
+        informed node (at time ``t + 1``) and ``on_round`` with the
+        end-of-round informed count; ``on_complete`` fires with the final
+        result.
         """
         gen = ensure_rng(rng)
         source = network.default_source() if source is None else source
@@ -118,6 +129,8 @@ class SynchronousRumorSpreading:
             snapshot = network.snapshot_for_step(round_index, informed_labels)
             if recorder is not None:
                 recorder.record(network, round_index, snapshot, len(informed_labels))
+            if observer is not None:
+                observer.on_snapshot(round_index, snapshot, len(informed_labels))
             degrees = snapshot.degrees
             newly: Optional[np.ndarray] = None
 
@@ -155,7 +168,16 @@ class SynchronousRumorSpreading:
                 if fresh.size:
                     informed[fresh] = True
                     informed_time[fresh] = float(round_index)
-                    informed_labels.update(nodes[int(i)] for i in fresh)
+                    if observer is None:
+                        informed_labels.update(nodes[int(i)] for i in fresh)
+                    else:
+                        for i in fresh:
+                            informed_labels.add(nodes[int(i)])
+                            observer.on_event(
+                                float(round_index), nodes[int(i)], len(informed_labels)
+                            )
+            if observer is not None:
+                observer.on_round(round_index, len(informed_labels))
             down = down_mask(round_index)
 
         completed = int(np.count_nonzero(~informed & ~down)) == 0
@@ -164,7 +186,7 @@ class SynchronousRumorSpreading:
             nodes[int(i)]: float(informed_time[int(i)]) for i in informed_ids
         }
         spread_time = max(informed_times.values()) if completed else math.inf
-        return SpreadResult(
+        result = SpreadResult(
             spread_time=spread_time,
             informed_times=informed_times,
             completed=completed,
@@ -174,6 +196,9 @@ class SynchronousRumorSpreading:
             synchronous=True,
             events=events,
         )
+        if observer is not None:
+            observer.on_complete(result)
+        return result
 
 
 __all__ = ["SynchronousRumorSpreading", "SyncVariant", "default_round_limit"]

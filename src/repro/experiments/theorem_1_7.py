@@ -22,12 +22,11 @@ import math
 from typing import Dict, List, Optional
 
 from repro.analysis.regression import loglog_slope, semilog_slope
-from repro.analysis.trials import run_trials
-from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.api import run as api_run
 from repro.dynamics.dichotomy import DynamicStarNetwork
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.rng import RngLike
 
 
 def _tail_rows(n: int, ks: List[int], spread_times: List[float]) -> List[Dict]:
@@ -51,11 +50,10 @@ def _tail_rows(n: int, ks: List[int], spread_times: List[float]) -> List[Dict]:
 
 def part_iii_rows(n: int, ks: List[int], trials: int, rng) -> List[Dict]:
     """Standalone part (iii) measurement (kept for the benchmark suite)."""
-    process = AsynchronousRumorSpreading()
-    summary = run_trials(
-        process.run, lambda: DynamicStarNetwork(n), trials=trials, rng=rng
+    trial_set = (
+        api_run(network=lambda: DynamicStarNetwork(n)).trials(trials).seed(rng).collect()
     )
-    return _tail_rows(n, ks, summary.spread_times)
+    return _tail_rows(n, ks, [float(t) for t in trial_set.spread_times])
 
 
 def scenarios(scale: str = "small", rng: RngLike = 2024) -> List[Scenario]:

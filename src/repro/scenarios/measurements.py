@@ -12,7 +12,10 @@ Built-in kinds:
     Run the selected spreading process ``trials`` times and record raw spread
     times plus summary statistics.  Options: ``max_time_policy`` (a horizon
     computed from a probe network), ``probe`` (network attributes/methods to
-    record), ``whp_quantile``.
+    record), ``whp_quantile``, and adaptive stopping via ``until_ci_width``
+    (+ optional ``max_trials``, defaulting to the scenario's ``trials``): the
+    point keeps running trials until the mean spread time's confidence
+    interval is at most that wide.
 ``tabs_trials``
     Per-trial runs with a cheap snapshot recorder, evaluating the Theorem 1.3
     ``T_abs`` budget on each realised sequence (experiment E3).
@@ -36,22 +39,19 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.trials import DEFAULT_WHP_QUANTILE, run_trials
 from repro.bounds.giakkoupis import giakkoupis_bound
 from repro.bounds.theorems import (
     absolute_diligence_bound,
     conductance_diligence_bound,
     theorem_1_1_threshold,
 )
-from repro.core.asynchronous import AsynchronousRumorSpreading
-from repro.core.synchronous import SynchronousRumorSpreading
 from repro.core.variants import (
-    Variant,
     forward_two_push_chain,
     forward_two_push_tail_bound,
 )
 from repro.dynamics.base import DynamicNetwork, SnapshotRecorder
 from repro.scenarios.scenario import Scenario, ScenarioPoint
+from repro.api.builder import bind_point, resolve_process
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import require
 
@@ -105,13 +105,27 @@ def measure_point(point: ScenarioPoint) -> Dict[str, Any]:
 
 
 def process_for(scenario: Scenario):
-    """Build the spreading process a scenario selects (with its fault model)."""
-    faults = scenario.fault_model()
-    if scenario.algorithm == "sync":
-        return SynchronousRumorSpreading(faults=faults)
-    return AsynchronousRumorSpreading(
-        variant=Variant(scenario.variant), engine=scenario.engine, faults=faults
+    """Build the spreading process a scenario selects (with its fault model).
+
+    Delegates to :func:`repro.api.builder.resolve_process`, the single
+    selection → process mapping the builder itself uses.
+    """
+    return resolve_process(
+        scenario.algorithm, scenario.variant, scenario.engine, scenario.fault_model()
     )
+
+
+def _payload(point: ScenarioPoint, trial_set, probe: DynamicNetwork,
+             max_time: Optional[float]) -> Dict[str, Any]:
+    """The historical ``trials`` payload shape, from a typed trial set."""
+    return {
+        "n": probe.n,
+        "value": point.value,
+        "spread_times": [float(t) for t in trial_set.spread_times],
+        "summary": trial_set.summary().as_dict(),
+        "probe": probe_values(point.scenario, probe),
+        "max_time": max_time,
+    }
 
 
 def resolve_max_time(scenario: Scenario, network: DynamicNetwork) -> Optional[float]:
@@ -160,57 +174,45 @@ def probe_values(scenario: Scenario, network: DynamicNetwork) -> Dict[str, float
 
 @register_measurement("trials")
 def _measure_trials(point: ScenarioPoint) -> Dict[str, Any]:
-    """Repeated spreading runs: raw spread times + summary statistics."""
+    """Repeated spreading runs: raw spread times + summary statistics.
+
+    A thin adapter over :mod:`repro.api`: the point binds to a
+    :class:`repro.api.RunBuilder` (which reproduces the scenario seed policy
+    exactly) and the typed :class:`repro.api.TrialSet` is flattened into the
+    historical payload shape.  The ``until_ci_width`` / ``max_trials``
+    options ride through the builder's adaptive stopping rule.
+    """
     scenario = point.scenario
-    process = process_for(scenario)
     probe = point.build_network()
     max_time = resolve_max_time(scenario, probe)
-    run_kwargs: Dict[str, Any] = {}
-    if max_time is not None:
-        if scenario.algorithm == "sync":
-            run_kwargs["max_rounds"] = int(math.ceil(max_time))
-        else:
-            run_kwargs["max_time"] = max_time
-    _, run_seq = point.seed_sequences()
-    summary = run_trials(
-        process.run,
-        point.build_network,
-        trials=scenario.trials,
-        rng=run_seq,
-        whp_quantile=float(scenario.options.get("whp_quantile", DEFAULT_WHP_QUANTILE)),
-        **run_kwargs,
-    )
-    return {
-        "n": probe.n,
-        "value": point.value,
-        "spread_times": [float(t) for t in summary.spread_times],
-        "summary": summary.as_dict(),
-        "probe": probe_values(scenario, probe),
-        "max_time": max_time,
-    }
+    trial_set = bind_point(point, max_time=max_time).collect()
+    return _payload(point, trial_set, probe, max_time)
 
 
 @register_measurement("tabs_trials")
 def _measure_tabs_trials(point: ScenarioPoint) -> Dict[str, Any]:
     """Per-trial runs evaluating the Theorem 1.3 budget on realised sequences."""
     scenario = point.scenario
-    process = process_for(scenario)
     _, run_seq = point.seed_sequences()
     generators = spawn_rngs(run_seq, scenario.trials)
+    # This kind has always run to the engine's default horizon (the budget
+    # evaluation needs completed runs); clear any scenario-level max_time so
+    # payloads stay identical to the pre-api measurement.
+    builder = bind_point(point).max_time(None)
     trials: List[Dict[str, Any]] = []
     n = None
     for trial_rng in generators:
-        network = point.build_network()
-        n = network.n
         # "cheap" recording measures connectivity and absolute diligence on
         # every snapshot; known analytic metrics are deliberately not
         # preferred so the bound is evaluated on measured quantities.
         recorder = SnapshotRecorder(mode="cheap", prefer_known=False, track_degrees=False)
-        result = process.run(network, rng=trial_rng, recorder=recorder)
+        run_result = builder.once(recorder=recorder, rng=trial_rng)
+        result = run_result.spread
+        n = result.n
         evaluation = absolute_diligence_bound(
             recorder.connectivity_series(),
             recorder.absolute_diligence_series(),
-            network.n,
+            result.n,
         )
         trials.append(
             {

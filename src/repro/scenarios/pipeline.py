@@ -9,13 +9,17 @@ for user-supplied scenario files.  It expands scenarios into independent
   concurrently instead of serially, and because each point derives its own
   seed stream from the scenario content, parallel results are identical to
   serial ones;
-* persists each payload as a **JSON artifact keyed by content hash** of the
-  point spec (scenario dict + sweep value + measurement-kind version), so a
-  re-run — after a crash, on another flag combination, from a different
-  entry point — resumes from cache instead of recomputing;
+* persists each payload through a pluggable :class:`repro.api.ResultSink`
+  keyed by content hash of the point spec (scenario dict + sweep value +
+  measurement-kind version), so a re-run — after a crash, on another flag
+  combination, from a different entry point — resumes from the artifact
+  store instead of recomputing;
 * returns results in deterministic scenario/point order regardless of cache
   state or worker scheduling.
 
+The default sink is :class:`repro.api.LocalDirSink` (one JSON artifact per
+key under ``cache_dir``); pass ``sink=`` to plug in any other store — a
+:class:`repro.api.MemorySink`, or a future shared cross-machine store.
 Payloads are normalised through a JSON round-trip even when caching is off,
 so cached and freshly computed runs are byte-for-byte interchangeable.
 """
@@ -24,11 +28,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.api.sinks import LocalDirSink, NullSink, ResultSink
 from repro.scenarios.measurements import measure_point
 from repro.scenarios.scenario import Scenario, ScenarioPoint
 from repro.utils.parallel import fork_map
@@ -68,7 +72,7 @@ class PointResult:
 
 
 class ExperimentPipeline:
-    """Executes scenario points with parallelism and artifact caching.
+    """Executes scenario points with parallelism and pluggable artifact storage.
 
     Parameters
     ----------
@@ -77,56 +81,35 @@ class ExperimentPipeline:
         points serially; results are identical either way.
     cache_dir:
         Directory for JSON artifacts, or ``None`` (default) to disable
-        caching.  The directory is created on first write.
+        caching.  The directory is created on first write.  Shorthand for
+        ``sink=LocalDirSink(cache_dir)``.
+    sink:
+        Any :class:`repro.api.ResultSink` artifact store; overrides
+        ``cache_dir`` when given.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir: Union[None, str, Path] = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Union[None, str, Path] = None,
+        sink: Optional[ResultSink] = None,
+    ):
         require(isinstance(jobs, int) and jobs >= 1,
                 f"jobs must be a positive integer, got {jobs!r}")
+        require(sink is None or cache_dir is None, "pass cache_dir or sink, not both")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if sink is None:
+            sink = LocalDirSink(self.cache_dir) if cache_dir is not None else NullSink()
+        self.sink = sink
 
     # -- cache -------------------------------------------------------------
 
-    def _artifact_path(self, key: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{key}.json"
-
     def _load_cached(self, point: ScenarioPoint, key: str) -> Optional[Dict[str, Any]]:
-        path = self._artifact_path(key)
-        if path is None or not path.is_file():
-            return None
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                artifact = json.load(handle)
-        except (OSError, ValueError):
-            return None  # unreadable/corrupt artifact: recompute
-        if artifact.get("spec") != _normalise(point.spec()):
-            return None  # hash collision or stale format: recompute
-        return artifact.get("payload")
+        return self.sink.load(key, _normalise(point.spec()))
 
     def _store(self, point: ScenarioPoint, key: str, payload: Dict[str, Any]) -> None:
-        path = self._artifact_path(key)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        artifact = {
-            "key": key,
-            "kind": point.scenario.kind,
-            "spec": _normalise(point.spec()),
-            "payload": payload,
-        }
-        # Write-then-rename so concurrent runs never observe a torn artifact.
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(artifact, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
+        self.sink.store(key, _normalise(point.spec()), point.scenario.kind, payload)
 
     # -- execution -----------------------------------------------------------
 

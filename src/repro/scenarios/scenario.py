@@ -31,18 +31,15 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.faults import FaultModel
+from repro.core.faults import FaultModel, fault_model_from_data
 from repro.core.variants import Variant
 from repro.dynamics.base import DynamicNetwork
 from repro.scenarios.networks import get_network_family
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require
 
-#: Accepted ``algorithm`` values.
-ALGORITHMS = ("async", "sync")
-
-#: Accepted ``engine`` values (asynchronous algorithm only).
-ENGINES = ("boundary", "naive")
+#: Accepted ``algorithm`` / ``engine`` values (single source: the public API).
+from repro.api.builder import ALGORITHMS, ENGINES  # noqa: E402 - re-export
 
 #: Version stamp mixed into every cache key; bump when point semantics change.
 SCENARIO_FORMAT_VERSION = 1
@@ -195,40 +192,46 @@ class Scenario:
     def fault_model(self) -> FaultModel:
         """Build the :class:`FaultModel` described by :attr:`faults`.
 
-        JSON object keys are always strings, so crash-time keys (and crashed
-        node entries) that look like integers are coerced back to ``int`` to
-        match the integer node labels the built-in families use.
+        Delegates to :func:`repro.core.faults.fault_model_from_data`, the
+        single plain-data → fault-model coercion path shared with
+        :mod:`repro.api`.
         """
-        if not self.faults:
-            return FaultModel.none()
-        known = {"drop_probability", "crashed_nodes", "crash_times"}
-        unknown = sorted(set(self.faults) - known)
-        require(not unknown, f"unknown fault field(s) {unknown}; known fields: {sorted(known)}")
-
-        def node_label(value):
-            if isinstance(value, str):
-                try:
-                    return int(value)
-                except ValueError:
-                    return value
-            return value
-
-        return FaultModel(
-            drop_probability=float(self.faults.get("drop_probability", 0.0)),
-            crashed_nodes=frozenset(
-                node_label(node) for node in self.faults.get("crashed_nodes", ())
-            ),
-            crash_times={
-                node_label(node): float(time)
-                for node, time in dict(self.faults.get("crash_times", {})).items()
-            },
-        )
+        return fault_model_from_data(self.faults)
 
     def points(self) -> List["ScenarioPoint"]:
         """Expand the sweep into independent executable points."""
         values = list(self.sweep) if self.sweep else [None]
         return [ScenarioPoint(scenario=self, value=value, index=index)
                 for index, value in enumerate(values)]
+
+    def bind(self, value: Any = None, index: Optional[int] = None):
+        """Bind one point of this scenario to a :class:`repro.api.RunBuilder`.
+
+        With no arguments the first point binds; pass ``value`` (a swept
+        value of this scenario) or ``index`` to select another point.  The
+        returned builder reproduces the scenario's execution semantics — seed
+        policy, network construction, algorithm/variant/engine, faults and
+        horizon — so ``scenario.bind().collect()`` yields the same spread
+        times the experiment pipeline computes for that point.  Only kinds
+        that run the spreading process (``"trials"``, ``"tabs_trials"``) are
+        bindable.  Use :func:`repro.api.sweep_scenario` to execute every
+        point into a :class:`repro.api.SweepFrame`.
+        """
+        from repro.api.builder import bind_point
+        from repro.scenarios.measurements import resolve_max_time
+
+        points = self.points()
+        if value is not None:
+            require(index is None, "pass value or index, not both")
+            matches = [point for point in points if point.value == value]
+            require(bool(matches), f"{value!r} is not a swept value of {self.label!r}")
+            point = matches[0]
+        else:
+            point = points[index if index is not None else 0]
+        max_time = self.max_time
+        if max_time is None and self.options.get("max_time_policy") is not None:
+            max_time = resolve_max_time(self, point.build_network())
+        return bind_point(point, max_time=max_time)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,197 @@
+"""Observer-event ordering tests on both engines (sync and async, with faults).
+
+The streaming observer protocol is part of the public contract: progress
+bars, live metrics and early stopping all assume the hooks arrive in a
+well-defined order.  These tests pin that order down on the boundary engine,
+the naive engine and the synchronous engine — including under scheduled
+crash faults — and check that the builder's trial-level hook wraps them
+coherently.
+"""
+
+import math
+
+import pytest
+
+from repro import api
+from repro.core.faults import FaultModel
+
+
+def _event_log_for(algorithm="async", engine="boundary", faults=None, n=16, network="clique"):
+    log = api.EventLog()
+    builder = api.run(network=network, n=n, algorithm=algorithm, seed=5).observe(log)
+    if algorithm == "async":
+        builder = builder.engine(engine)
+    if faults is not None:
+        builder = builder.faults(faults)
+    result = builder.once()
+    return log, result
+
+
+class TestAsyncOrdering:
+    @pytest.mark.parametrize("engine", ["boundary", "naive"])
+    def test_event_times_nondecreasing_and_complete_last(self, engine):
+        log, result = _event_log_for(engine=engine)
+        kinds = [event[0] for event in log.events]
+        assert kinds[0] == "snapshot", "the initial snapshot is observed first"
+        # on_complete arrives exactly once, after everything the engine emits.
+        assert kinds.count("complete") == 1
+        assert kinds.index("complete") == len(kinds) - 2  # builder appends on_trial
+        assert kinds[-1] == "trial"
+        times = [event[1] for event in log.of_kind("event")]
+        assert times == sorted(times)
+        assert result.completed
+
+    @pytest.mark.parametrize("engine", ["boundary", "naive"])
+    def test_informed_counts_increment_by_one(self, engine):
+        log, result = _event_log_for(engine=engine)
+        counts = [event[3] for event in log.of_kind("event")]
+        assert counts == list(range(2, 2 + len(counts)))
+        assert len(counts) == result.n - 1  # everyone beyond the source
+
+    @pytest.mark.parametrize("engine", ["boundary", "naive"])
+    def test_snapshot_steps_strictly_increase(self, engine):
+        log, _ = _event_log_for(engine=engine)
+        steps = [event[1] for event in log.of_kind("snapshot")]
+        assert steps == sorted(set(steps))
+        assert steps[0] == 0
+
+    @pytest.mark.parametrize("engine", ["boundary", "naive"])
+    def test_crash_faults_keep_ordering_and_skip_crashed_nodes(self, engine):
+        faults = FaultModel(crashed_nodes=frozenset({3}), crash_times={5: 0.4})
+        log, result = _event_log_for(engine=engine, faults=faults)
+        assert result.completed
+        informed_nodes = {event[2] for event in log.of_kind("event")}
+        assert 3 not in informed_nodes
+        times = [event[1] for event in log.of_kind("event")]
+        assert times == sorted(times)
+        # node 5 can only have been informed before its crash time
+        for _, time, node, _ in log.of_kind("event"):
+            if node == 5:
+                assert time < 0.4
+
+    def test_events_interleave_between_snapshots_in_time_order(self):
+        # edge-markovian changes snapshots every unit of time, so events and
+        # snapshots interleave; reconstruct the global time order and check it.
+        log = api.EventLog()
+        (
+            api.run(network="edge-markovian", n=12, birth=0.4, death=0.2, seed=9)
+            .network_seed(1)
+            .observe(log)
+            .once()
+        )
+        clock = []
+        for event in log.events:
+            if event[0] == "snapshot":
+                clock.append(float(event[1]))
+            elif event[0] == "event":
+                clock.append(event[1])
+        assert clock == sorted(clock)
+
+
+class TestSyncOrdering:
+    def test_rounds_and_events_are_coherent(self):
+        log, result = _event_log_for(algorithm="sync")
+        rounds = [event[1] for event in log.of_kind("round")]
+        assert rounds == list(range(1, len(rounds) + 1))
+        # each informing event carries the round it happened in
+        round_of_events = [event[1] for event in log.of_kind("event")]
+        assert all(float(r) in {float(x) for x in rounds} for r in round_of_events)
+        assert log.events[-2][0] == "complete" and log.events[-1][0] == "trial"
+        assert result.completed
+
+    def test_sync_crash_faults_ordering(self):
+        faults = {"crash_times": {2: 1}}
+        log, result = _event_log_for(algorithm="sync", faults=faults)
+        assert result.completed
+        # node 2 may only be informed in round 1 (it crashes from round 1 on,
+        # and informing during round 0 is recorded at time 1)
+        for _, time, node, _ in log.of_kind("event"):
+            if node == 2:
+                assert time <= 1.0
+        counts = [event[2] for event in log.of_kind("round")]
+        assert counts == sorted(counts), "informed count never decreases"
+
+    def test_snapshot_per_round(self):
+        log, result = _event_log_for(algorithm="sync", network="cycle")
+        snapshots = [event[1] for event in log.of_kind("snapshot")]
+        rounds = [event[1] for event in log.of_kind("round")]
+        assert snapshots == list(range(len(rounds)))
+
+
+class TestTrialLevelHooks:
+    def test_on_trial_fires_per_trial_in_order(self):
+        log = api.EventLog()
+        trial_set = (
+            api.run(network="clique", n=10, seed=2).observe(log).trials(4).collect()
+        )
+        trial_events = log.of_kind("trial")
+        assert [event[1] for event in trial_events] == [0, 1, 2, 3]
+        assert [event[2] for event in trial_events] == [
+            float(t) for t in trial_set.spread_times
+        ]
+        # engine-level completes interleave one per trial on the serial path
+        assert len(log.of_kind("complete")) == 4
+
+    def test_observer_chain_fans_out(self):
+        first, second = api.EventLog(), api.EventLog()
+        api.run(network="clique", n=8, seed=1).observe(first, second).once()
+        assert first.events == second.events
+        assert first.events, "hooks actually fired"
+
+    def test_parallel_workers_replay_on_trial_in_parent(self):
+        log = api.EventLog()
+        trial_set = (
+            api.run(network="clique", n=10, seed=2)
+            .observe(log)
+            .trials(4)
+            .workers(2)
+            .collect()
+        )
+        trial_events = log.of_kind("trial")
+        assert [event[1] for event in trial_events] == [0, 1, 2, 3]
+        assert [event[2] for event in trial_events] == [
+            float(t) for t in trial_set.spread_times
+        ]
+
+    def test_workers_do_not_change_spread_times(self):
+        serial = api.run(network="clique", n=12, seed=7).trials(6).collect()
+        parallel = (
+            api.run(network="clique", n=12, seed=7).trials(6).workers(2).collect()
+        )
+        assert [float(t) for t in serial.spread_times] == [
+            float(t) for t in parallel.spread_times
+        ]
+
+
+class TestAdaptiveStopping:
+    def test_ci_width_rule_stops_early(self):
+        wide = api.run(network="clique", n=16, seed=3).trials(
+            until_ci_width=math.inf, max_trials=50
+        )
+        trial_set = wide.collect()
+        # an infinite target is satisfied as soon as a width exists (2 trials)
+        assert trial_set.trials == 2
+
+    def test_adaptive_results_are_prefix_of_fixed_run(self):
+        adaptive = (
+            api.run(network="clique", n=16, seed=3)
+            .trials(until_ci_width=0.5, max_trials=30)
+            .collect()
+        )
+        fixed = api.run(network="clique", n=16, seed=3).trials(30).collect()
+        assert 2 <= adaptive.trials <= 30
+        assert [float(t) for t in adaptive.spread_times] == [
+            float(t) for t in fixed.spread_times[: adaptive.trials]
+        ]
+
+    def test_adaptive_honours_max_trials(self):
+        trial_set = (
+            api.run(network="clique", n=16, seed=3)
+            .trials(until_ci_width=1e-12, max_trials=5)
+            .collect()
+        )
+        assert trial_set.trials == 5
+
+    def test_adaptive_requires_budget(self):
+        with pytest.raises(ValueError, match="max_trials"):
+            api.run(network="clique", n=16).trials(until_ci_width=0.5).collect()
