@@ -1,22 +1,29 @@
-"""Print the change between two pytest-benchmark JSON files.
+"""Compare two pytest-benchmark JSON files, optionally gating on regressions.
 
 Usage::
 
-    python benchmarks/bench_delta.py benchmarks/BENCH_baseline.json BENCH_engines.json
+    python benchmarks/bench_delta.py benchmarks/BENCH_baseline.json BENCH_engines.json \
+        [--threshold 30] [--gate NAME_OR_GLOB ...]
 
 Matches benchmarks by name and prints the mean runtime of each side plus the
 relative delta (negative = faster than the committed baseline).  Benchmarks
-present on only one side are listed separately.  The script is informational:
-it always exits 0 so CI surfaces regressions in the log without going red on
-noisy runners (the committed baseline was recorded on different hardware than
-the CI machines).
+present on only one side are listed separately.
+
+Without ``--gate`` the script is informational and always exits 0.  With one
+or more ``--gate`` patterns (exact names or ``fnmatch`` globs naming the hot
+benchmarks), it exits non-zero when any gated benchmark is slower than the
+baseline by more than ``--threshold`` percent (default 30%), or when a gated
+pattern matches nothing on either side — so a renamed benchmark cannot
+silently escape the gate.
 """
 
 from __future__ import annotations
 
+import argparse
+import fnmatch
 import json
 import sys
-from typing import Dict
+from typing import Dict, List
 
 
 def _load_means(path: str) -> Dict[str, float]:
@@ -28,22 +35,47 @@ def _load_means(path: str) -> Dict[str, float]:
     }
 
 
+def _parse_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog=argv[0], description="benchmark delta (and optional regression gate)"
+    )
+    parser.add_argument("baseline", help="committed baseline pytest-benchmark JSON")
+    parser.add_argument("current", help="freshly recorded pytest-benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=30.0, metavar="PCT",
+        help="maximum allowed slowdown for gated benchmarks, in percent (default 30)",
+    )
+    parser.add_argument(
+        "--gate", action="append", default=[], metavar="NAME",
+        help="benchmark name or fnmatch glob to gate on (repeatable); "
+        "without any, the script only prints deltas",
+    )
+    return parser.parse_args(argv[1:])
+
+
 def main(argv) -> int:
-    if len(argv) != 3:
-        print(f"usage: {argv[0]} BASELINE.json CURRENT.json", file=sys.stderr)
-        return 2
-    baseline = _load_means(argv[1])
-    current = _load_means(argv[2])
+    args = _parse_args(list(argv))
+    baseline = _load_means(args.baseline)
+    current = _load_means(args.current)
 
     shared = sorted(set(baseline) & set(current))
+    # One matching pass serves both the table markers and the gate verdicts.
+    matches_by_pattern = {
+        pattern: [name for name in shared if fnmatch.fnmatch(name, pattern)]
+        for pattern in args.gate
+    }
+    gated = {name for matched in matches_by_pattern.values() for name in matched}
+    deltas: Dict[str, float] = {}
     width = max((len(name) for name in shared), default=4)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
-    print(f"{'-' * width}  {'-' * 12}  {'-' * 12}  {'-' * 8}")
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}  gate")
+    print(f"{'-' * width}  {'-' * 12}  {'-' * 12}  {'-' * 8}  ----")
     for name in shared:
         base_ms = baseline[name] * 1000.0
         curr_ms = current[name] * 1000.0
         delta = (curr_ms - base_ms) / base_ms * 100.0
-        print(f"{name:<{width}}  {base_ms:>10.2f}ms  {curr_ms:>10.2f}ms  {delta:>+7.1f}%")
+        deltas[name] = delta
+        marker = "*" if name in gated else ""
+        print(f"{name:<{width}}  {base_ms:>10.2f}ms  {curr_ms:>10.2f}ms  {delta:>+7.1f}%  {marker}")
 
     for label, names in (
         ("only in baseline", sorted(set(baseline) - set(current))),
@@ -51,6 +83,24 @@ def main(argv) -> int:
     ):
         for name in names:
             print(f"{label}: {name}")
+
+    failures = []
+    for pattern, matched in matches_by_pattern.items():
+        if not matched:
+            failures.append(f"gate pattern {pattern!r} matched no shared benchmark")
+    for name in sorted(gated):
+        if deltas[name] > args.threshold:
+            failures.append(
+                f"{name} regressed {deltas[name]:+.1f}% "
+                f"(threshold {args.threshold:.0f}%)"
+            )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if gated:
+        print(f"\ngate OK: {len(gated)} benchmark(s) within {args.threshold:.0f}%")
     return 0
 
 

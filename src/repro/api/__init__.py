@@ -41,9 +41,13 @@ from repro.api.builder import (
 from repro.api.observers import CIWidthRule, EventLog, ObserverChain, RunObserver
 from repro.api.results import RunResult, SweepFrame, TrialSet
 from repro.api.sinks import LocalDirSink, MemorySink, NullSink, ResultSink
+from repro.checks import Check, CheckReport, CheckResult, evaluate_checks
 
 __all__ = [
     "CIWidthRule",
+    "Check",
+    "CheckReport",
+    "CheckResult",
     "EventLog",
     "LocalDirSink",
     "MemorySink",
@@ -58,6 +62,7 @@ __all__ = [
     "SweepFrame",
     "TrialSet",
     "bind_point",
+    "evaluate_checks",
     "run",
     "sweep_scenario",
 ]

@@ -1,0 +1,320 @@
+"""The serializable :class:`Check` family and its structured outcomes.
+
+A :class:`Check` states one quantitative acceptance criterion over tabular
+results — *"this column stays under that bound"*, *"this quantity grows with
+log-log slope in [0.5, 1.8]"* — as plain data.  Like
+:class:`repro.scenarios.Scenario` it round-trips through dicts/JSON, so a
+whole experiment (workload **and** acceptance logic) can live in a JSON
+file.  Evaluation semantics live in :mod:`repro.checks.evaluate`.
+
+Kinds
+-----
+
+``upper_bound`` / ``lower_bound``
+    Every selected row satisfies ``column <= bound`` (resp. ``>=``), where
+    the bound is ``scale * transform(against) + offset`` (``against`` names a
+    column, a derived key, or is a numeric constant), optionally clamped to
+    ``[clamp_low, clamp_high]``.  ``strict`` makes the comparison strict;
+    ``non_finite`` says whether a non-finite observation fails or skips the
+    row; ``require_rows`` demands a minimum number of participating rows.
+``log_slope``
+    Least-squares slope of ``log(column)`` against ``log(x)`` over the
+    selected rows lies in ``[low, high]`` (either side may be omitted).
+    Rows with non-finite or non-positive values are excluded from the fit;
+    with fewer than two usable points the verdict is ``insufficient``
+    (``"pass"`` or ``"fail"``).
+``monotonic``
+    Successive values of ``column`` (ordered by ``x`` when given, row order
+    otherwise) are ``direction``-sorted (``strict`` forbids ties).
+``ratio_between``
+    ``column / against`` lies in ``[low, high]`` for every selected row.
+``ci_width``
+    The width of the mean's normal-approximation confidence interval
+    (``2 z std / sqrt(completed trials)``, from the summary columns
+    ``std`` / ``trials`` / ``completion_rate``) is at most ``high`` on every
+    selected row.
+``all_true``
+    ``column`` is truthy on every selected row.
+``equals``
+    ``column`` equals ``against`` within ``tolerance`` on every selected row.
+
+Row selection
+-------------
+
+``where`` filters rows before evaluation: ``{"network": "G2"}`` keeps rows
+whose column equals the value, ``{"rho": {"exists": true}}`` keeps rows that
+have (or, with ``false``, lack) the column.  ``source="derived"`` evaluates
+against the scalar derived-quantities mapping instead of the rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.utils.validation import require
+
+#: Registered check kinds (the declarative acceptance vocabulary).
+CHECK_KINDS: Tuple[str, ...] = (
+    "upper_bound",
+    "lower_bound",
+    "log_slope",
+    "monotonic",
+    "ratio_between",
+    "ci_width",
+    "all_true",
+    "equals",
+)
+
+#: Transforms applicable to the ``against`` side of bound checks.
+TRANSFORMS: Tuple[str, ...] = ("log", "log2", "log10", "sqrt")
+
+#: Kinds whose observation is a single column compared against ``against``.
+_BOUND_KINDS = ("upper_bound", "lower_bound", "ratio_between", "equals")
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert ``value`` to plain JSON types (tuples → lists)."""
+    if isinstance(value, Mapping):
+        return {str(key): _plain(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(inner) for inner in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Check:
+    """One declarative acceptance criterion over tabular results.
+
+    Attributes
+    ----------
+    label:
+        Human-readable name, unique within a check table; results refer back
+        to it.
+    kind:
+        One of :data:`CHECK_KINDS`.
+    column:
+        The observed column (row checks) or derived key (``source="derived"``).
+        Not used by ``ci_width``, which reads the summary columns directly.
+    against:
+        The bound side: a column/derived-key name (string) or a numeric
+        constant.  Required by bound-style kinds.
+    x:
+        Ordering/abscissa column for ``log_slope`` and ``monotonic``.
+    where:
+        Row filter (see module docstring).  Must be empty for
+        ``source="derived"``.
+    source:
+        ``"rows"`` (default) or ``"derived"``.
+    scale / offset / transform / clamp_low / clamp_high:
+        Bound shaping: ``bound = scale * transform(against) + offset`` then
+        clamped.  ``transform`` is one of :data:`TRANSFORMS` or ``None``.
+    low / high:
+        Acceptance band for ``log_slope`` / ``ratio_between`` / ``ci_width``.
+    strict:
+        Strict (``<`` / ``>``) comparisons for bounds and ``monotonic``.
+    tolerance:
+        Absolute tolerance for ``equals``.
+    z:
+        Normal quantile for ``ci_width`` (default 1.96 ≈ 95%).
+    non_finite:
+        ``"fail"`` (default) or ``"skip"`` — what a non-finite observation
+        does to its row.
+    require_rows:
+        Minimum number of participating (non-skipped) rows; fewer fails the
+        check.
+    insufficient:
+        ``log_slope`` verdict when fewer than two usable points remain:
+        ``"pass"`` or ``"fail"`` (default).
+    direction:
+        ``"increasing"`` (default) or ``"decreasing"`` for ``monotonic``.
+    """
+
+    label: str
+    kind: str
+    column: Optional[str] = None
+    against: Optional[Union[str, int, float]] = None
+    x: Optional[str] = None
+    where: Mapping[str, Any] = field(default_factory=dict)
+    source: str = "rows"
+    scale: float = 1.0
+    offset: float = 0.0
+    transform: Optional[str] = None
+    clamp_low: Optional[float] = None
+    clamp_high: Optional[float] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    strict: bool = False
+    tolerance: float = 0.0
+    z: float = 1.96
+    non_finite: str = "fail"
+    require_rows: int = 0
+    insufficient: str = "fail"
+    direction: str = "increasing"
+
+    def __post_init__(self):
+        require(isinstance(self.label, str) and self.label,
+                "check label must be a non-empty string")
+        require(self.kind in CHECK_KINDS,
+                f"check kind must be one of {CHECK_KINDS}, got {self.kind!r}")
+        require(self.source in ("rows", "derived"),
+                f"source must be 'rows' or 'derived', got {self.source!r}")
+        require(self.non_finite in ("fail", "skip"),
+                f"non_finite must be 'fail' or 'skip', got {self.non_finite!r}")
+        require(self.insufficient in ("pass", "fail"),
+                f"insufficient must be 'pass' or 'fail', got {self.insufficient!r}")
+        require(self.direction in ("increasing", "decreasing"),
+                f"direction must be 'increasing' or 'decreasing', got {self.direction!r}")
+        require(self.transform is None or self.transform in TRANSFORMS,
+                f"transform must be one of {TRANSFORMS}, got {self.transform!r}")
+        require(isinstance(self.require_rows, int) and self.require_rows >= 0,
+                f"require_rows must be a non-negative integer, got {self.require_rows!r}")
+        require(self.tolerance >= 0, f"tolerance must be >= 0, got {self.tolerance!r}")
+        require(self.z > 0, f"z must be positive, got {self.z!r}")
+        if self.kind != "ci_width":
+            require(self.column is not None, f"kind {self.kind!r} needs a column")
+        if self.kind in ("upper_bound", "lower_bound", "ratio_between", "equals"):
+            require(self.against is not None, f"kind {self.kind!r} needs an against side")
+        if self.kind == "ratio_between":
+            require(self.low is not None or self.high is not None,
+                    "ratio_between needs low and/or high")
+        if self.kind == "log_slope":
+            require(self.x is not None, "log_slope needs an x column")
+            require(self.low is not None or self.high is not None,
+                    "log_slope needs low and/or high")
+        if self.kind == "ci_width":
+            require(self.high is not None, "ci_width needs a high bound")
+        if self.low is not None and self.high is not None:
+            require(self.low <= self.high,
+                    f"low must not exceed high, got [{self.low}, {self.high}]")
+        if self.source == "derived":
+            require(not self.where, "where filters do not apply to source='derived'")
+            require(self.kind in _BOUND_KINDS,
+                    f"source='derived' supports kinds {_BOUND_KINDS}, got {self.kind!r}")
+        object.__setattr__(self, "where", dict(self.where))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON types only); inverse of :meth:`from_dict`."""
+        return {f.name: _plain(getattr(self, f.name)) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Check":
+        """Rebuild a check from :meth:`to_dict` output (strict on keys)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        require(not unknown, f"unknown check field(s) {unknown}; known fields: {sorted(known)}")
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON form; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Check":
+        """Rebuild a check from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def checks_to_data(checks: Sequence[Check]) -> List[Dict[str, Any]]:
+    """Serialize a check table to a list of plain dicts."""
+    return [check.to_dict() for check in checks]
+
+
+def checks_from_data(data: Sequence[Mapping[str, Any]]) -> Tuple[Check, ...]:
+    """Rebuild a check table from plain data (accepting Check instances too)."""
+    return tuple(
+        entry if isinstance(entry, Check) else Check.from_dict(entry) for entry in data
+    )
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The structured outcome of evaluating one :class:`Check`.
+
+    ``observed`` is the headline quantity (worst-case value, fitted slope,
+    worst ratio, fraction true — per kind), ``bound_low``/``bound_high`` the
+    active acceptance band, and ``margin`` the worst slack against it
+    (negative = violated, ``None`` when no rows participated).  ``rows`` and
+    ``skipped`` count participating and policy-skipped rows.
+    """
+
+    label: str
+    kind: str
+    passed: bool
+    observed: Optional[float] = None
+    bound_low: Optional[float] = None
+    bound_high: Optional[float] = None
+    margin: Optional[float] = None
+    rows: int = 0
+    skipped: int = 0
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the ``repro verify --json`` per-check schema)."""
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "passed": self.passed,
+            "observed": self.observed,
+            "bound_low": self.bound_low,
+            "bound_high": self.bound_high,
+            "margin": self.margin,
+            "rows": self.rows,
+            "skipped": self.skipped,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """An evaluated check table: one :class:`CheckResult` per :class:`Check`."""
+
+    results: Tuple[CheckResult, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed (vacuously true for an empty table)."""
+        return all(result.passed for result in self.results)
+
+    @property
+    def counts(self) -> Tuple[int, int]:
+        """``(passed, total)`` check counts."""
+        return (sum(1 for result in self.results if result.passed), len(self.results))
+
+    def failures(self) -> List[CheckResult]:
+        """The failing results, in table order."""
+        return [result for result in self.results if not result.passed]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form: counts plus per-check outcomes."""
+        passed, checked = self.counts
+        return {
+            "passed": passed,
+            "checked": checked,
+            "all_passed": self.passed,
+            "checks": [result.as_dict() for result in self.results],
+        }
+
+
+__all__ = [
+    "CHECK_KINDS",
+    "TRANSFORMS",
+    "Check",
+    "CheckReport",
+    "CheckResult",
+    "checks_from_data",
+    "checks_to_data",
+]

@@ -18,7 +18,14 @@ Subcommands:
 
 ``python -m repro report [--only E1 E2] [--jobs 4] [--json]``
     Run every experiment and print a combined markdown (or JSON) report.
-    Experiment ids are validated before anything runs.
+    Experiment ids are validated before anything runs.  Exits non-zero when
+    any experiment fails its checks, so CI can gate on the exit code.
+
+``python -m repro verify [--scale small] [--only E1] [--json]``
+    Run every experiment's declarative check table through the shared
+    pipeline (same cache as ``report``) and print one line per check —
+    observed value, margin against the bound, verdict.  Exits non-zero when
+    any check fails: the regression gate.
 
 ``python -m repro scenarios list`` / ``python -m repro scenarios run FILE``
     Inspect the network registry and per-experiment scenario tables, or
@@ -150,6 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the report as JSON instead of markdown"
     )
     add_pipeline_flags(report_parser)
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="run the declarative experiment checks as a regression gate",
+        allow_abbrev=False,
+    )
+    verify_parser.add_argument("--scale", choices=("small", "full"), default="small")
+    verify_parser.add_argument(
+        "--only", nargs="+", default=None, metavar="ID", help="restrict to specific experiment ids"
+    )
+    verify_parser.add_argument(
+        "--json", action="store_true", help="emit the verification document as JSON"
+    )
+    add_pipeline_flags(verify_parser)
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="inspect or run declarative scenarios", allow_abbrev=False
@@ -309,6 +330,7 @@ def _command_simulate(args, out) -> int:
 
 def _command_report(args, out) -> int:
     from repro.experiments.reporting import (
+        all_passed,
         build_results,
         render_markdown,
         results_as_dict,
@@ -328,7 +350,34 @@ def _command_report(args, out) -> int:
         _dump_json(results_as_dict(results), out)
     else:
         print(render_markdown(results), file=out)
-    return 0
+    # Non-zero on any failed shape check so CI can gate on the exit code
+    # instead of re-parsing the JSON document.
+    return 0 if all_passed(results) else 1
+
+
+def _command_verify(args, out) -> int:
+    from repro.experiments.reporting import (
+        all_passed,
+        build_results,
+        render_verification,
+        validate_experiment_ids,
+        verification_as_dict,
+    )
+
+    if args.only is not None:
+        try:
+            validate_experiment_ids(args.only)  # fail fast, before any run
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    results = build_results(
+        scale=args.scale, experiment_ids=args.only, pipeline=_make_pipeline(args)
+    )
+    if args.json:
+        _dump_json(verification_as_dict(results, scale=args.scale), out)
+    else:
+        print(render_verification(results), file=out)
+    return 0 if all_passed(results) else 1
 
 
 def _scenario_tables(scale: str) -> Dict[str, List[Scenario]]:
@@ -420,22 +469,34 @@ def _command_scenarios_run(args, out) -> int:
         print(f"error: {args.file}: no scenarios in file", file=sys.stderr)
         return 2
     results = _make_pipeline(args).run(scenarios)
+    check_reports = _scenario_check_reports(scenarios, results)
+    checks_passed = all(report.passed for report in check_reports.values())
+    point_documents = [
+        {
+            "label": point.label,
+            "value": point.value,
+            "index": point.index,
+            "key": point.key,
+            "cached": point.cached,
+            "payload": point.payload,
+        }
+        for point in results
+    ]
     if args.json:
-        _dump_json(
-            [
+        if check_reports:
+            _dump_json(
                 {
-                    "label": point.label,
-                    "value": point.value,
-                    "index": point.index,
-                    "key": point.key,
-                    "cached": point.cached,
-                    "payload": point.payload,
-                }
-                for point in results
-            ],
-            out,
-        )
-        return 0
+                    "points": point_documents,
+                    "checks": {label: report.as_dict()
+                               for label, report in check_reports.items()},
+                    "all_passed": checks_passed,
+                },
+                out,
+            )
+        else:
+            # Historical schema: a bare list of points when nothing is checked.
+            _dump_json(point_documents, out)
+        return 0 if checks_passed else 1
     rows = []
     for point in results:
         row = {
@@ -450,7 +511,45 @@ def _command_scenarios_run(args, out) -> int:
             )
         rows.append(row)
     print(format_table(rows, title=f"{len(scenarios)} scenario(s), {len(rows)} point(s)"), file=out)
-    return 0
+    for label, report in check_reports.items():
+        passed, checked = report.counts
+        check_rows = [
+            {
+                "check": result.label,
+                "kind": result.kind,
+                "observed": "-" if result.observed is None else result.observed,
+                "margin": "-" if result.margin is None else result.margin,
+                "verdict": "PASS" if result.passed else "FAIL",
+            }
+            for result in report
+        ]
+        print(file=out)
+        print(
+            format_table(check_rows, title=f"checks for {label!r}: {passed} / {checked} passed"),
+            file=out,
+        )
+    return 0 if checks_passed else 1
+
+
+def _scenario_check_reports(scenarios: List[Scenario], results):
+    """Evaluate each scenario's attached check table over its own points.
+
+    Keys are scenario labels, disambiguated with ``#index`` on collision so
+    a duplicated label can never overwrite (and thereby mask) another
+    scenario's failing report.
+    """
+    from repro.checks import evaluate_checks
+
+    reports = {}
+    for index, scenario in enumerate(scenarios):
+        if not scenario.checks:
+            continue
+        points = [point for point in results if point.scenario is scenario]
+        key = scenario.label
+        if key in reports:
+            key = f"{scenario.label} #{index}"
+        reports[key] = evaluate_checks(scenario.checks, points)
+    return reports
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
@@ -471,6 +570,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_simulate(args, out)
     if args.command == "report":
         return _command_report(args, out)
+    if args.command == "verify":
+        return _command_verify(args, out)
     if args.command == "scenarios":
         if args.scenarios_command == "list":
             return _command_scenarios_list(args, out)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro.checks import Check, evaluate_checks
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
 from repro.utils.rng import RngLike
@@ -45,6 +46,19 @@ def scenarios(scale: str = "small", rng: RngLike = 2027) -> List[Scenario]:
                 )
             )
     return table
+
+
+def checks(scale: str = "small") -> List[Check]:
+    """The declarative E9 check table: engines agree within 4σ per topology."""
+    return [
+        Check(
+            label="boundary and naive engines agree (z < 4)",
+            kind="upper_bound",
+            column="z_score",
+            against=4.0,
+            strict=True,
+        ),
+    ]
 
 
 def run(
@@ -81,7 +95,7 @@ def run(
             }
         )
 
-    passed = all(row["agree"] for row in rows)
+    check_report = evaluate_checks(checks(scale), rows=rows)
     return ExperimentResult(
         experiment_id="E9",
         title="Engine ablation: boundary (cut-race) engine vs naive clock-tick engine",
@@ -91,9 +105,10 @@ def run(
         ),
         rows=rows,
         derived={"max_z_score": max(row["z_score"] for row in rows)},
-        passed=passed,
+        passed=check_report.passed,
         notes=f"scale={scale}, trials per engine per network={trials}",
+        check_results=list(check_report.results),
     )
 
 
-__all__ = ["run", "scenarios"]
+__all__ = ["checks", "run", "scenarios"]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.checks import Check, evaluate_checks
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
 from repro.utils.rng import RngLike
@@ -44,6 +45,40 @@ def scenarios(scale: str = "small", rng: RngLike = 2025) -> List[Scenario]:
     ]
 
 
+def checks(scale: str = "small") -> List[Check]:
+    """The declarative E8 check table.
+
+    Every swept ``k`` must respect the ``(2^k/k!)·Δ`` expectation bound (with
+    the historical 20% + 0.05 sampling slack), and at the largest ``k`` the
+    empirical crossing probability must stay under the bound clamped to
+    ``[0.05, 1.0]`` — super-exponential collapse means the chain is
+    essentially never crossed there.
+    """
+    last_k = 8 if scale == "small" else 12
+    return [
+        Check(
+            label="E[informed in S_k] within (2^k/k!) Delta",
+            kind="upper_bound",
+            column="empirical_E[I(1,k)]",
+            against="bound_(2^k/k!)*delta",
+            scale=1.2,
+            offset=0.05,
+        ),
+        Check(
+            label="chain essentially never crossed at the largest k",
+            kind="upper_bound",
+            column="empirical_P[reach S_k]",
+            against="bound_(2^k/k!)*delta",
+            clamp_low=0.05,
+            clamp_high=1.0,
+            where={"k": last_k},
+            # Fail loud if the sweep ever stops producing the largest-k row
+            # (the historical code indexed rows[-1] unconditionally).
+            require_rows=1,
+        ),
+    ]
+
+
 def run(
     scale: str = "small",
     rng: RngLike = 2025,
@@ -67,9 +102,7 @@ def run(
             }
         )
 
-    passed = all(row["within_bound"] for row in rows) and rows[-1]["empirical_P[reach S_k]"] <= max(
-        0.05, min(1.0, rows[-1]["bound_(2^k/k!)*delta"])
-    )
+    check_report = evaluate_checks(checks(scale), rows=rows)
     delta = rows[-1]["delta"]
     trials = results[0].scenario.trials if results else 0
     return ExperimentResult(
@@ -82,9 +115,10 @@ def run(
         ),
         rows=rows,
         derived={"max_k": float(rows[-1]["k"])},
-        passed=passed,
+        passed=check_report.passed,
         notes=f"scale={scale}, delta={delta}, trials per k={trials}",
+        check_results=list(check_report.results),
     )
 
 
-__all__ = ["run", "scenarios"]
+__all__ = ["checks", "run", "scenarios"]

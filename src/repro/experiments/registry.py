@@ -21,6 +21,7 @@ from repro.experiments import (
     theorem_1_5,
     theorem_1_7,
 )
+from repro.checks import Check
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline, Scenario
 from repro.utils.validation import require
@@ -51,6 +52,19 @@ SCENARIO_TABLES: Dict[str, Callable[..., List[Scenario]]] = {
     "E9": engine_validation.scenarios,
 }
 
+#: Experiment id → declarative check table builder (acceptance logic as data).
+CHECK_TABLES: Dict[str, Callable[..., List[Check]]] = {
+    "E1": theorem_1_1.checks,
+    "E2": theorem_1_2.checks,
+    "E3": theorem_1_3.checks,
+    "E4": theorem_1_5.checks,
+    "E5": theorem_1_7.checks,
+    "E6": theorem_1_7.checks,
+    "E7": related_work.checks,
+    "E8": lemma_4_2.checks,
+    "E9": engine_validation.checks,
+}
+
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     """Return the runner for ``experiment_id`` (raising on unknown ids)."""
@@ -64,6 +78,13 @@ def get_scenario_table(experiment_id: str) -> Callable[..., List[Scenario]]:
     require(experiment_id in SCENARIO_TABLES, f"unknown experiment id {experiment_id!r}; "
             f"known ids: {sorted(SCENARIO_TABLES)}")
     return SCENARIO_TABLES[experiment_id]
+
+
+def get_check_table(experiment_id: str) -> Callable[..., List[Check]]:
+    """Return the check-table builder for ``experiment_id``."""
+    require(experiment_id in CHECK_TABLES, f"unknown experiment id {experiment_id!r}; "
+            f"known ids: {sorted(CHECK_TABLES)}")
+    return CHECK_TABLES[experiment_id]
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
@@ -90,8 +111,10 @@ def run_all(
 
 
 __all__ = [
+    "CHECK_TABLES",
     "EXPERIMENTS",
     "SCENARIO_TABLES",
+    "get_check_table",
     "get_experiment",
     "get_scenario_table",
     "run_all",

@@ -18,9 +18,9 @@ analytic per-step metrics are attached to the network).
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional
 
+from repro.checks import Check, evaluate_checks
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
 from repro.utils.rng import RngLike
@@ -43,6 +43,33 @@ def scenarios(scale: str = "small", rng: RngLike = 2026, c: float = 1.0) -> List
         Scenario(label="alternating bounds", kind="bound_series",
                  seed=scenario_seed(rng, 2), options={"c": c, "min_per_step_budget": 0.2},
                  **common),
+    ]
+
+
+def checks(scale: str = "small") -> List[Check]:
+    """The declarative E7 check table.
+
+    The [17] budget must grow strictly relative to ours as ``n`` grows, and
+    the measured asynchronous spread time must stay polylogarithmic
+    (``< 10 log n``).
+    """
+    return [
+        Check(
+            label="[17]/Thm1.1 threshold ratio grows with n",
+            kind="monotonic",
+            column="giakkoupis_over_thm_1_1_threshold",
+            direction="increasing",
+            strict=True,
+        ),
+        Check(
+            label="async spread time stays under 10 log n",
+            kind="upper_bound",
+            column="async_measured_mean",
+            against="n",
+            transform="log",
+            scale=10.0,
+            strict=True,
+        ),
     ]
 
 
@@ -80,14 +107,8 @@ def run(
             }
         )
 
-    # Shape check: the [17] budget grows linearly in n relative to ours, and
-    # the measured asynchronous spread time stays polylogarithmic.
+    check_report = evaluate_checks(checks(scale), rows=rows)
     ratio_growth = [row["giakkoupis_over_thm_1_1_threshold"] for row in rows]
-    measured = [row["async_measured_mean"] for row in rows]
-    passed = (
-        all(b > a for a, b in zip(ratio_growth, ratio_growth[1:]))
-        and all(value < 10 * math.log(row["n"]) for value, row in zip(measured, rows))
-    )
     trials = by_label["alternating async"][0].scenario.trials
     return ExperimentResult(
         experiment_id="E7",
@@ -99,9 +120,10 @@ def run(
         ),
         rows=rows,
         derived={"threshold_ratio_at_max_n": ratio_growth[-1]},
-        passed=passed,
+        passed=check_report.passed,
         notes=f"scale={scale}, trials per point={trials}",
+        check_results=list(check_report.results),
     )
 
 
-__all__ = ["run", "scenarios"]
+__all__ = ["checks", "run", "scenarios"]

@@ -131,11 +131,88 @@ def build_report(
     )
 
 
+def all_passed(results: Dict[str, ExperimentResult]) -> bool:
+    """True when no experiment failed its checks (descriptive ones count as ok)."""
+    return all(result.passed in (True, None) for result in results.values())
+
+
+def verification_as_dict(
+    results: Dict[str, ExperimentResult], scale: Optional[str] = None
+) -> Dict[str, Any]:
+    """JSON-ready verification document (the ``repro verify --json`` schema).
+
+    Counts are **per check** (one experiment contributes one entry per row of
+    its declarative check table), so the regression gate reports exactly
+    which criterion moved, not just which experiment.
+    """
+    experiments: Dict[str, Any] = {}
+    passed = checked = 0
+    for experiment_id in sorted(results):
+        result = results[experiment_id]
+        passed += sum(1 for check in result.check_results if check.passed)
+        checked += len(result.check_results)
+        experiments[experiment_id] = {
+            "title": result.title,
+            "passed": result.passed,
+            "checks": [check.as_dict() for check in result.check_results],
+        }
+    document: Dict[str, Any] = {
+        "passed": passed,
+        "checked": checked,
+        "all_passed": all_passed(results),
+        "experiments": experiments,
+    }
+    if scale is not None:
+        document["scale"] = scale
+    return document
+
+
+def render_verification(results: Dict[str, ExperimentResult]) -> str:
+    """Plain-text verification report: one line per declarative check."""
+    from repro.analysis.tables import format_table
+
+    require(len(results) > 0, "no experiment results to render")
+    rows: List[Dict[str, Any]] = []
+    for experiment_id in sorted(results):
+        result = results[experiment_id]
+        for check in result.check_results:
+            rows.append(
+                {
+                    "experiment": experiment_id,
+                    "check": check.label,
+                    "kind": check.kind,
+                    "observed": "-" if check.observed is None else check.observed,
+                    "margin": "-" if check.margin is None else check.margin,
+                    "rows": check.rows,
+                    "verdict": "PASS" if check.passed else "FAIL",
+                }
+            )
+        if not result.check_results:
+            rows.append(
+                {
+                    "experiment": experiment_id,
+                    "check": "(no declarative checks)",
+                    "kind": "-",
+                    "observed": "-",
+                    "margin": "-",
+                    "rows": len(result.rows),
+                    "verdict": "-",
+                }
+            )
+    passed = sum(1 for row in rows if row["verdict"] == "PASS")
+    checked = sum(1 for row in rows if row["verdict"] != "-")
+    title = f"Verification: {passed} / {checked} checks passed"
+    return format_table(rows, title=title)
+
+
 __all__ = [
+    "all_passed",
     "build_report",
     "build_results",
     "distinct_experiment_ids",
     "render_markdown",
+    "render_verification",
     "results_as_dict",
     "validate_experiment_ids",
+    "verification_as_dict",
 ]

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
+from repro.checks.check import CheckResult
 from repro.utils.validation import require
 
 
@@ -31,6 +32,10 @@ class ExperimentResult:
         is purely descriptive).
     notes:
         Free-form remarks (scale used, caveats).
+    check_results:
+        Structured outcomes of the experiment's declarative check table
+        (empty for purely descriptive experiments); ``passed`` is their
+        conjunction.
     """
 
     experiment_id: str
@@ -40,15 +45,21 @@ class ExperimentResult:
     derived: Dict[str, float] = field(default_factory=dict)
     passed: Optional[bool] = None
     notes: str = ""
+    check_results: List[CheckResult] = field(default_factory=list)
 
     def table(self, columns: Optional[Sequence[str]] = None, precision: int = 3) -> str:
         """Render the regenerated table as text."""
         require(len(self.rows) > 0, "experiment produced no rows")
         return format_table(self.rows, columns=columns, precision=precision, title=self.title)
 
-    def as_dict(self) -> Dict[str, Any]:
-        """Plain-dict form of the result (the CLI's ``--json`` schema)."""
-        return {
+    def as_dict(self, include_checks: bool = False) -> Dict[str, Any]:
+        """Plain-dict form of the result (the CLI's ``--json`` schema).
+
+        ``include_checks`` adds the per-check outcomes under ``"checks"``
+        (used by ``repro verify --json``); the default form is the stable
+        ``report --json`` schema.
+        """
+        document = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "claim": self.claim,
@@ -57,6 +68,9 @@ class ExperimentResult:
             "passed": self.passed,
             "notes": self.notes,
         }
+        if include_checks:
+            document["checks"] = [result.as_dict() for result in self.check_results]
+        return document
 
     def report(self) -> str:
         """Full text report: claim, table, derived quantities and verdict."""
@@ -66,6 +80,14 @@ class ExperimentResult:
             lines.append("Derived:")
             for key, value in self.derived.items():
                 lines.append(f"  {key} = {value:.4g}" if isinstance(value, float) else f"  {key} = {value}")
+        if self.check_results:
+            lines.append("Checks:")
+            for result in self.check_results:
+                verdict = "PASS" if result.passed else "FAIL"
+                observed = (
+                    f" observed={result.observed:.4g}" if result.observed is not None else ""
+                )
+                lines.append(f"  [{verdict}] {result.label} ({result.kind}){observed}")
         if self.passed is not None:
             lines.append(f"Shape check: {'PASS' if self.passed else 'FAIL'}")
         if self.notes:

@@ -24,6 +24,7 @@ from repro.bounds.theorems import (
     theorem_1_1_threshold,
     theorem_1_3_threshold,
 )
+from repro.checks import Check, evaluate_checks
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
 from repro.utils.rng import RngLike
@@ -131,6 +132,18 @@ def scenarios(scale: str = "small", rng: RngLike = 2020, c: float = 1.0) -> List
     return table
 
 
+def checks(scale: str = "small") -> List[Check]:
+    """The declarative E1 check table (the acceptance logic, as data)."""
+    return [
+        Check(
+            label="whp spread time within min(T11, Tabs)",
+            kind="upper_bound",
+            column="measured_whp",
+            against="bound_min",
+        ),
+    ]
+
+
 def run(
     scale: str = "small",
     rng: RngLike = 2020,
@@ -174,7 +187,7 @@ def run(
         )
 
     trials = max(1, results[0].scenario.trials) if results else 0
-    passed = all(row["within_bound"] for row in rows)
+    check_report = evaluate_checks(checks(scale), rows=rows)
     violations = sum(1 for row in rows if not row["within_bound"])
     return ExperimentResult(
         experiment_id="E1",
@@ -185,9 +198,16 @@ def run(
         ),
         rows=rows,
         derived={"violations": float(violations), "cases": float(len(rows))},
-        passed=passed,
+        passed=check_report.passed,
         notes=f"scale={scale}, trials per point={trials}, c={c}",
+        check_results=list(check_report.results),
     )
 
 
-__all__ = ["run", "scenarios", "constant_rate_theorem_1_1_bound", "constant_rate_theorem_1_3_bound"]
+__all__ = [
+    "checks",
+    "run",
+    "scenarios",
+    "constant_rate_theorem_1_1_bound",
+    "constant_rate_theorem_1_3_bound",
+]

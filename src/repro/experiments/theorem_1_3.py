@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.bounds.theorems import universal_quadratic_bound
+from repro.checks import Check, evaluate_checks
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
 from repro.utils.rng import RngLike
@@ -58,6 +59,20 @@ def scenarios(scale: str = "small", rng: RngLike = 2022) -> List[Scenario]:
             seed=scenario_seed(rng, index),
         )
         for index, (label, family, params) in enumerate(cases)
+    ]
+
+
+def checks(scale: str = "small") -> List[Check]:
+    """The declarative E3 check table.
+
+    The per-trial budget verdicts (``within_Tabs``: completed runs that
+    reached the budget stay under it; ``within_2n(n-1)``: every completed run
+    respects the universal quadratic cap) are regenerated table columns; the
+    acceptance criterion is that both hold on every run.
+    """
+    return [
+        Check(label="every run within T_abs", kind="all_true", column="within_Tabs"),
+        Check(label="every run within 2n(n-1)", kind="all_true", column="within_2n(n-1)"),
     ]
 
 
@@ -98,7 +113,7 @@ def run(
                 }
             )
 
-    passed = all(row["within_Tabs"] and row["within_2n(n-1)"] for row in rows)
+    check_report = evaluate_checks(checks(scale), rows=rows)
     completed = sum(1 for row in rows if row["completed"])
     return ExperimentResult(
         experiment_id="E3",
@@ -113,9 +128,10 @@ def run(
             "runs": float(len(rows)),
             "completed_runs": float(completed),
         },
-        passed=passed,
+        passed=check_report.passed,
         notes=f"scale={scale}, trials per network={trials}",
+        check_results=list(check_report.results),
     )
 
 
-__all__ = ["run", "scenarios"]
+__all__ = ["checks", "run", "scenarios"]

@@ -18,10 +18,9 @@ checks are that
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional
 
-from repro.analysis.regression import loglog_slope
+from repro.checks import Check, evaluate_checks
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline, Scenario, scenario_seed
 from repro.utils.rng import RngLike
@@ -61,6 +60,43 @@ def scenarios(scale: str = "small", rng: RngLike = 2023) -> List[Scenario]:
     ]
 
 
+def checks(scale: str = "small") -> List[Check]:
+    """The declarative E4 check table.
+
+    Timed-out points are skipped on both bound comparisons (the historical
+    behaviour); ``require_rows=1`` on the lower bound demands at least one
+    completed point, and the slope fit fails outright when fewer than two
+    usable points remain.
+    """
+    return [
+        Check(
+            label="spread time above the nD/20 lower prediction",
+            kind="lower_bound",
+            column="measured_mean",
+            against="lower_prediction_nD/20",
+            scale=0.5,
+            non_finite="skip",
+            require_rows=1,
+        ),
+        Check(
+            label="whp spread time within T_abs = 2n(D+1)",
+            kind="upper_bound",
+            column="measured_whp",
+            against="upper_Tabs_2n(D+1)",
+            non_finite="skip",
+        ),
+        Check(
+            label="spread time linear in Delta (log-log slope in [0.5, 1.8])",
+            kind="log_slope",
+            column="measured_mean",
+            x="delta",
+            low=0.5,
+            high=1.8,
+            insufficient="fail",
+        ),
+    ]
+
+
 def run(
     scale: str = "small",
     rng: RngLike = 2023,
@@ -87,21 +123,9 @@ def run(
             }
         )
 
-    finite = [row for row in rows if math.isfinite(row["measured_mean"])]
-    slope = (
-        loglog_slope([row["delta"] for row in finite], [row["measured_mean"] for row in finite])
-        if len(finite) >= 2
-        else float("nan")
-    )
-    lower_ok = all(
-        row["measured_mean"] >= 0.5 * row["lower_prediction_nD/20"] for row in finite
-    )
-    upper_ok = all(
-        row["measured_whp"] <= row["upper_Tabs_2n(D+1)"]
-        for row in rows
-        if math.isfinite(row["measured_whp"])
-    )
-    passed = bool(finite) and lower_ok and upper_ok and (0.5 <= slope <= 1.8)
+    check_report = evaluate_checks(checks(scale), rows=rows)
+    lower_result, upper_result, slope_result = check_report.results
+    slope = slope_result.observed if slope_result.observed is not None else float("nan")
 
     n = rows[0]["n"] if rows else 0
     trials = results[0].scenario.trials if results else 0
@@ -115,12 +139,13 @@ def run(
         rows=rows,
         derived={
             "spread_vs_delta_loglog_slope": slope,
-            "lower_bound_check": float(lower_ok),
-            "upper_bound_check": float(upper_ok),
+            "lower_bound_check": float(lower_result.passed),
+            "upper_bound_check": float(upper_result.passed),
         },
-        passed=passed,
+        passed=check_report.passed,
         notes=f"scale={scale}, n={n}, trials per rho={trials}",
+        check_results=list(check_report.results),
     )
 
 
-__all__ = ["run", "scenarios"]
+__all__ = ["checks", "run", "scenarios"]

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.checks.check import Check
 from repro.core.faults import FaultModel, fault_model_from_data
 from repro.core.variants import Variant
 from repro.dynamics.base import DynamicNetwork
@@ -112,6 +113,12 @@ class Scenario:
     options:
         Kind-specific extras (JSON-serializable), e.g. a ``max_time_policy``
         or probe attributes to record from a freshly built network.
+    checks:
+        Declarative acceptance criteria (:class:`repro.checks.Check` objects
+        or their dicts) evaluated against this scenario's point results by
+        ``repro scenarios run`` / :func:`repro.api.evaluate_checks`.  Checks
+        describe how results are *judged*, not what runs, so they do not
+        participate in point cache keys.
     """
 
     label: str
@@ -128,6 +135,7 @@ class Scenario:
     seed: int = 0
     max_time: Optional[float] = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    checks: Tuple[Check, ...] = ()
 
     def __post_init__(self):
         require(isinstance(self.label, str) and self.label, "scenario label must be a non-empty string")
@@ -157,6 +165,10 @@ class Scenario:
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "sweep", tuple(self.sweep))
         object.__setattr__(self, "options", dict(self.options))
+        object.__setattr__(self, "checks", tuple(
+            check if isinstance(check, Check) else Check.from_dict(check)
+            for check in (self.checks or ())
+        ))
         if self.faults is not None:
             object.__setattr__(self, "faults", _plain(self.faults))
 
@@ -165,6 +177,7 @@ class Scenario:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (JSON types only); inverse of :meth:`from_dict`."""
         out = {f.name: _plain(getattr(self, f.name)) for f in dataclasses.fields(self)}
+        out["checks"] = [check.to_dict() for check in self.checks]
         return out
 
     @classmethod
@@ -264,10 +277,17 @@ class ScenarioPoint:
         return family.build(rng=np.random.default_rng(network_seq), **self.network_params())
 
     def spec(self) -> Dict[str, Any]:
-        """Canonical plain-dict identity of this point (drives the cache key)."""
+        """Canonical plain-dict identity of this point (drives the cache key).
+
+        ``checks`` are excluded: they describe how results are judged, not
+        what is measured, so attaching or editing a scenario's check table
+        must not invalidate (or fragment) its cached point artifacts.
+        """
+        scenario = self.scenario.to_dict()
+        scenario.pop("checks", None)
         return {
             "format": SCENARIO_FORMAT_VERSION,
-            "scenario": self.scenario.to_dict(),
+            "scenario": scenario,
             "point": {"index": self.index, self.scenario.sweep_name: _plain(self.value)},
         }
 

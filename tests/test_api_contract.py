@@ -18,6 +18,9 @@ from repro import api
 #: breaking changes and need a deliberate snapshot update.
 EXPECTED_ALL = [
     "CIWidthRule",
+    "Check",
+    "CheckReport",
+    "CheckResult",
     "EventLog",
     "LocalDirSink",
     "MemorySink",
@@ -32,6 +35,7 @@ EXPECTED_ALL = [
     "SweepFrame",
     "TrialSet",
     "bind_point",
+    "evaluate_checks",
     "run",
     "sweep_scenario",
 ]

@@ -1,0 +1,75 @@
+"""Tests for the benchmark delta tool's regression gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_delta.py"
+_spec = importlib.util.spec_from_file_location("bench_delta", _MODULE_PATH)
+bench_delta = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_delta)
+
+
+def _write(path, means):
+    document = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+@pytest.fixture
+def files(tmp_path):
+    baseline = _write(tmp_path / "baseline.json", {"hot": 0.100, "cold": 0.050})
+    current = _write(tmp_path / "current.json", {"hot": 0.150, "cold": 0.049})
+    return baseline, current
+
+
+class TestBenchDelta:
+    def test_informational_without_gate(self, files, capsys):
+        baseline, current = files
+        assert bench_delta.main(["bench_delta.py", baseline, current]) == 0
+        out = capsys.readouterr().out
+        assert "hot" in out and "+50.0%" in out
+
+    def test_gate_fails_on_regression_beyond_threshold(self, files, capsys):
+        baseline, current = files
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "hot", "--threshold", "30"]
+        )
+        assert code == 1
+        assert "regressed +50.0%" in capsys.readouterr().err
+
+    def test_gate_passes_within_threshold(self, files, capsys):
+        baseline, current = files
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "hot", "--threshold", "60"]
+        )
+        assert code == 0
+        assert "gate OK" in capsys.readouterr().out
+
+    def test_ungated_regression_does_not_fail(self, files):
+        baseline, current = files
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "cold", "--threshold", "30"]
+        )
+        assert code == 0
+
+    def test_gate_glob_matches_multiple(self, files):
+        baseline, current = files
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "*", "--threshold", "30"]
+        )
+        assert code == 1
+
+    def test_unmatched_gate_pattern_fails(self, files, capsys):
+        baseline, current = files
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "renamed_benchmark"]
+        )
+        assert code == 1
+        assert "matched no shared benchmark" in capsys.readouterr().err
