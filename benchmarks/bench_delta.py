@@ -12,9 +12,11 @@ present on only one side are listed separately.
 Without ``--gate`` the script is informational and always exits 0.  With one
 or more ``--gate`` patterns (exact names or ``fnmatch`` globs naming the hot
 benchmarks), it exits non-zero when any gated benchmark is slower than the
-baseline by more than ``--threshold`` percent (default 30%), or when a gated
-pattern matches nothing on either side — so a renamed benchmark cannot
-silently escape the gate.
+baseline by more than ``--threshold`` percent (default 30%).  A pattern that
+matches no benchmark *shared* by both files is warned about and skipped
+rather than failed: a freshly added benchmark is gated from the moment both
+sides record it, without breaking the delta job on the run that introduces
+it (or on a stale baseline).
 """
 
 from __future__ import annotations
@@ -87,7 +89,27 @@ def main(argv) -> int:
     failures = []
     for pattern, matched in matches_by_pattern.items():
         if not matched:
-            failures.append(f"gate pattern {pattern!r} matched no shared benchmark")
+            # A gated benchmark missing from one side (new benchmark, stale
+            # baseline) must not break the job: warn and gate it once both
+            # sides record it.
+            unshared = sorted(
+                name
+                for name in (set(baseline) | set(current)) - set(shared)
+                if fnmatch.fnmatch(name, pattern)
+            )
+            if unshared:
+                print(
+                    f"WARN: gate pattern {pattern!r} matched only unshared "
+                    f"benchmark(s) ({', '.join(unshared)}); skipping until both "
+                    "sides record them",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"WARN: gate pattern {pattern!r} matched no benchmark on "
+                    "either side; skipping",
+                    file=sys.stderr,
+                )
     for name in sorted(gated):
         if deltas[name] > args.threshold:
             failures.append(

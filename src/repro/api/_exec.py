@@ -137,4 +137,30 @@ def execute_trials(
     return spread_times, kept, n
 
 
-__all__ = ["execute_trials"]
+def execute_batched(
+    process,
+    network,
+    trials: int,
+    rng: RngLike = None,
+    source: Optional[Hashable] = None,
+    max_time: Optional[float] = None,
+    keep_results: bool = False,
+) -> Tuple[List[float], List[SpreadResult], Optional[int]]:
+    """Run ``trials`` trials through a batch-capable process in one call.
+
+    The vectorised counterpart of :func:`execute_trials` for processes that
+    expose ``run_batch`` (currently
+    :class:`repro.core.batched.BatchedRumorSpreading`).  All trials share one
+    network realisation and consume the master generator stream directly —
+    statistics match the per-trial path in distribution, not trial-by-trial.
+    Returns the same ``(spread_times, kept_results, n)`` triple.
+    """
+    results = process.run_batch(
+        network, trials, source=source, rng=rng, max_time=max_time
+    )
+    spread_times = [result.spread_time for result in results]
+    kept = list(results) if keep_results else []
+    return spread_times, kept, results[0].n
+
+
+__all__ = ["execute_batched", "execute_trials"]

@@ -44,10 +44,11 @@ from typing import (
 )
 
 from repro.analysis.trials import DEFAULT_WHP_QUANTILE
-from repro.api._exec import execute_trials
+from repro.api._exec import execute_batched, execute_trials
 from repro.api.observers import CIWidthRule, ObserverChain, RunObserver
 from repro.api.results import RunResult, SweepFrame, TrialSet
 from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.core.batched import BatchedRumorSpreading, batched_supported
 from repro.core.faults import FaultModel, fault_model_from_data
 from repro.core.synchronous import SynchronousRumorSpreading
 from repro.core.variants import Variant
@@ -60,7 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - lazy at runtime (scenarios imports us)
 
 #: Accepted ``algorithm`` / ``engine`` values (mirrored by scenario files).
 ALGORITHMS = ("async", "sync")
-ENGINES = ("boundary", "naive")
+ENGINES = ("boundary", "naive", "jit", "batched", "auto")
 
 #: Accepted ``network`` forms: family name, live network, or factory callable.
 NetworkLike = Union[str, DynamicNetwork, Callable[..., DynamicNetwork]]
@@ -116,6 +117,17 @@ class RunSpec:
                 "variant/engine apply only to the asynchronous algorithm; "
                 "leave them at their defaults for algorithm='sync'",
             )
+        if self.engine == "batched":
+            require(
+                not self.observers,
+                "engine='batched' does not support observers; streaming hooks "
+                "need a serial engine (boundary/jit)",
+            )
+            require(
+                self.until_ci_width is None,
+                "engine='batched' does not support adaptive trials "
+                "(until_ci_width); use a fixed trial count",
+            )
         require(
             isinstance(self.trials, int) and self.trials >= 1,
             f"trials must be a positive integer, got {self.trials!r}",
@@ -162,6 +174,12 @@ def resolve_process(
     faults = faults if faults is not None else FaultModel.none()
     if algorithm == "sync":
         return SynchronousRumorSpreading(faults=faults)
+    if engine == "batched":
+        return BatchedRumorSpreading(variant=Variant(variant), faults=faults)
+    if engine == "auto":
+        # "auto" resolves per terminal: .collect()/.sweep() pick the batched
+        # path when the workload supports it; everything else means boundary.
+        engine = "boundary"
     return AsynchronousRumorSpreading(
         variant=Variant(variant), engine=engine, faults=faults
     )
@@ -198,7 +216,16 @@ class RunBuilder:
         return self._replace(variant=name)
 
     def engine(self, name: str) -> "RunBuilder":
-        """Select the asynchronous engine: ``"boundary"`` or ``"naive"``."""
+        """Select the asynchronous engine.
+
+        ``"boundary"`` (exact cut race, default), ``"naive"`` (clock-tick
+        reference), ``"jit"`` (boundary race through the optional
+        numba-compiled kernel, numpy fallback when numba is absent),
+        ``"batched"`` (all trials vectorised in one ``(trials, n)`` sweep;
+        static networks only, no observers or adaptive trials, ``workers``
+        is ignored), or ``"auto"`` (``.collect()``/``.sweep()`` pick the
+        batched path when the workload supports it, boundary otherwise).
+        """
         return self._replace(engine=name)
 
     def params(self, **params) -> "RunBuilder":
@@ -345,6 +372,53 @@ class RunBuilder:
         spec = self._spec
         return spec.max_trials if spec.until_ci_width is not None else spec.trials
 
+    def _execute(self, factory, rng, source, observer, stop_rule):
+        """Run one point's trials: the batched fast path or the trial loop.
+
+        ``engine="batched"`` demands the vectorised path (raising when the
+        network is not static); ``engine="auto"`` takes it opportunistically
+        — static network, no streaming hooks, no stop rule — and otherwise
+        falls back to the boundary engine via :func:`execute_trials`.
+        """
+        spec = self._spec
+        if (
+            spec.engine in ("batched", "auto")
+            and spec.algorithm == "async"
+            and spec.runner is None
+            and not spec.run_kwargs
+            and observer is None
+            and stop_rule is None
+        ):
+            network = factory()
+            reason = batched_supported(network)
+            if spec.engine == "batched":
+                require(reason is None, reason or "")
+            if reason is None:
+                return execute_batched(
+                    process=BatchedRumorSpreading(
+                        variant=Variant(spec.variant),
+                        faults=spec.faults,
+                    ),
+                    network=network,
+                    trials=self._trial_budget(),
+                    rng=rng,
+                    source=source,
+                    max_time=spec.max_time,
+                    keep_results=spec.keep_results,
+                )
+        return execute_trials(
+            runner=self._runner(),
+            factory=factory,
+            trials=self._trial_budget(),
+            rng=rng,
+            source=source,
+            workers=spec.workers,
+            run_kwargs=self._run_kwargs(),
+            observer=observer,
+            stop_rule=stop_rule,
+            keep_results=spec.keep_results,
+        )
+
     # -- terminals ---------------------------------------------------------
 
     def once(self, recorder=None, rng: RngLike = None) -> RunResult:
@@ -373,17 +447,8 @@ class RunBuilder:
         """Run the configured trials and return their :class:`TrialSet`."""
         spec = self._spec
         spec.validate()
-        times, kept, n = execute_trials(
-            runner=self._runner(),
-            factory=self._factory(),
-            trials=self._trial_budget(),
-            rng=spec.seed,
-            source=spec.source,
-            workers=spec.workers,
-            run_kwargs=self._run_kwargs(),
-            observer=self._observer(),
-            stop_rule=self._stop_rule(),
-            keep_results=spec.keep_results,
+        times, kept, n = self._execute(
+            self._factory(), spec.seed, spec.source, self._observer(), self._stop_rule()
         )
         return TrialSet(spec=spec, spread_times=times, results=tuple(kept), nodes=n or 0)
 
@@ -416,18 +481,7 @@ class RunBuilder:
             source = spec.source
             if source_for is not None:
                 source = source_for(value, factory())
-            times, kept, n = execute_trials(
-                runner=self._runner(),
-                factory=factory,
-                trials=self._trial_budget(),
-                rng=point_rng,
-                source=source,
-                workers=spec.workers,
-                run_kwargs=self._run_kwargs(),
-                observer=observer,
-                stop_rule=stop_rule,
-                keep_results=spec.keep_results,
-            )
+            times, kept, n = self._execute(factory, point_rng, source, observer, stop_rule)
             point_spec = spec
             if isinstance(spec.network, str):
                 point_spec = dataclasses.replace(
@@ -522,6 +576,9 @@ def bind_point(point: ScenarioPoint, max_time: Optional[float] = None) -> RunBui
             until_ci_width=float(until_ci_width),
             max_trials=int(options.get("max_trials", scenario.trials)),
         )
+    # Fail at bind time the way the terminals would — a scenario declaring an
+    # unsupported engine combination errors here, not mid-execution.
+    builder.spec.validate()
     return builder
 
 

@@ -134,12 +134,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="contact variant for the asynchronous algorithm",
     )
     simulate_parser.add_argument(
-        "--engine", choices=("boundary", "naive"), default="boundary",
-        help="asynchronous engine: exact cut-race (boundary) or clock-tick reference (naive)",
+        "--engine", choices=("boundary", "naive", "jit", "batched", "auto"),
+        default="boundary",
+        help="asynchronous engine: exact cut-race (boundary), clock-tick "
+        "reference (naive), optional-numba kernel (jit), trial-batched "
+        "vectorised sweep (batched; static networks only), or automatic "
+        "selection (auto)",
     )
     simulate_parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the trial runner (1 = serial)",
+    )
+    simulate_parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the run with cProfile and print the top cumulative-time entries",
     )
     simulate_parser.add_argument(
         "--json", action="store_true", help="emit the summary as JSON instead of a table"
@@ -298,21 +306,47 @@ def _command_experiment(args, out) -> int:
 
 
 def _command_simulate(args, out) -> int:
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            code = _run_simulate(args, out)
+        finally:
+            profiler.disable()
+            buffer = io.StringIO()
+            pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(25)
+            # stderr keeps --json output parseable and pipes clean.
+            print(buffer.getvalue().rstrip(), file=sys.stderr)
+        return code
+    return _run_simulate(args, out)
+
+
+def _run_simulate(args, out) -> int:
     params = _simulate_params(args)
-    trial_set = (
-        api.run(
-            network=args.network,
-            params=params,
-            algorithm=args.algorithm,
-            variant=args.variant,
-            engine=args.engine,
-            seed=args.seed,
-            network_seed=args.seed,
+    try:
+        trial_set = (
+            api.run(
+                network=args.network,
+                params=params,
+                algorithm=args.algorithm,
+                variant=args.variant,
+                engine=args.engine,
+                seed=args.seed,
+                network_seed=args.seed,
+            )
+            .trials(args.trials)
+            .workers(args.workers)
+            .collect()
         )
-        .trials(args.trials)
-        .workers(args.workers)
-        .collect()
-    )
+    except ValueError as error:
+        # Up-front engine/combination validation (e.g. batched on a dynamic
+        # network) surfaces here; report it like the other commands do.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.json:
         _dump_json(trial_set.as_dict(), out)
         return 0

@@ -1,0 +1,498 @@
+"""Trial-batched asynchronous engine: many boundary races in one numpy sweep.
+
+``engine="batched"`` runs ``T`` independent trials of the boundary race of
+Definition 1 *simultaneously*, stacking the per-trial state — informed
+bitmask, informing-rate array, clock — as 2-D ``(trials, n)`` arrays so the
+per-event work is a handful of large vectorised operations instead of ``T``
+Python event loops.  It produces the same :class:`repro.core.state.SpreadResult`
+objects as :class:`repro.core.asynchronous.AsynchronousRumorSpreading` and
+matches the boundary engine *in distribution* (it deliberately consumes the
+master generator stream directly rather than per-trial spawned streams, so
+individual trial results differ for a fixed seed while every statistic
+agrees; the test-suite checks agreement including drop and crash faults).
+
+Two execution paths, chosen per batch:
+
+**Complete-graph closed form.**  On a clique every informed/uninformed pair
+contributes the same rate ``delivery·(a+b)/(n-1)``, so with ``m`` eligible
+(up, uninformed) nodes the wait before the ``j``-th informing event is
+``Exp(λ_j)`` with ``λ_j = c·j·(m-j+1)`` and the informing order is a uniform
+random permutation of the eligible nodes.  The whole batch is two array
+draws: a ``(T, m)`` matrix of exponentials (cumulative-summed into event
+times) and a per-trial permutation.  Used whenever the snapshot is complete,
+the source is up and no crash is *scheduled* (initially-down nodes are fine —
+they only shrink ``m``; degrees still count them).
+
+**General static path.**  For any other static network the engine advances
+all trials one informing event at a time: one exponential wait per active
+trial, a two-level (``√n``-blocked) weighted draw over each trial's rate row,
+then a scatter update of the O(deg) neighbour rates of every newly informed
+node across trials.  Per-trial totals and per-block partial sums are
+maintained incrementally and refreshed periodically to absorb floating-point
+drift (with a clamp onto a positive-rate entry as the last resort, mirroring
+the boundary engine's ``_choose_weighted``).  Scheduled crashes split the
+race into segments; each boundary applies the (trial-independent) down mask
+and rebuilds every trial's rates in one vectorised pass over the directed
+edge arrays.
+
+Because all trials share one network realisation, the engine requires a
+:class:`repro.dynamics.sequences.StaticDynamicNetwork` — snapshot changes at
+integer times would need per-trial rebuilds, erasing the batching win.  For
+static snapshots, skipping the integer boundaries entirely is exact: the
+boundary engine's re-sampling there is a no-op by memorylessness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.asynchronous import (
+    RATE_EPSILON,
+    _initial_down_mask,
+    _pending_crashes,
+    default_time_limit,
+)
+from repro.core.faults import FaultModel
+from repro.core.state import SpreadResult
+from repro.core.variants import Variant
+from repro.dynamics.base import DynamicNetwork
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.csr import CsrSnapshot
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require, require_node_count, require_positive
+
+#: Recompute per-trial totals and block partial sums every this many events
+#: to keep incremental floating-point drift bounded.
+REFRESH_INTERVAL = 64
+
+
+def batched_supported(network: DynamicNetwork) -> Optional[str]:
+    """Return ``None`` when the batched engine can run ``network``, else why not.
+
+    The single eligibility rule shared by ``engine="batched"`` (where a
+    non-``None`` reason becomes a ``ValueError``) and ``engine="auto"``
+    (where it falls back to the boundary engine).
+    """
+    if not isinstance(network, StaticDynamicNetwork):
+        return (
+            "engine='batched' requires a static network (the batch shares one "
+            f"snapshot across all trials); got {type(network).__name__}"
+        )
+    return None
+
+
+def _steps_used(completed: bool, spread_time: float, limit: float) -> int:
+    """Snapshot count matching the boundary engine's integer-boundary walk."""
+    if completed:
+        return int(math.floor(spread_time)) + 1
+    return int(limit) if float(limit).is_integer() else int(math.ceil(limit))
+
+
+class BatchedRumorSpreading:
+    """Asynchronous push–pull (and variants) batched over many trials.
+
+    Parameters
+    ----------
+    variant:
+        Which contacts carry the rumor (:class:`repro.core.variants.Variant`);
+        enters only through its rate coefficients, so every variant the
+        boundary engine supports is supported here.
+    faults:
+        Optional :class:`repro.core.faults.FaultModel`.  Message drops scale
+        every rate; initially-crashed nodes are masked out; scheduled crashes
+        split the batch race into segments.
+    """
+
+    def __init__(
+        self,
+        variant: Variant = Variant.PUSH_PULL,
+        faults: Optional[FaultModel] = None,
+    ):
+        self.variant = variant
+        self.faults = faults if faults is not None else FaultModel.none()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        network: DynamicNetwork,
+        source: Optional[Hashable] = None,
+        rng: RngLike = None,
+        max_time: Optional[float] = None,
+        recorder=None,
+        observer=None,
+    ) -> SpreadResult:
+        """Run a single trial (the batch engine's process-protocol adapter).
+
+        Streaming hooks are incompatible with batching — per-event callbacks
+        would serialise exactly the loop the engine vectorises away — so
+        ``recorder`` / ``observer`` must be ``None``.
+        """
+        require(
+            recorder is None and observer is None,
+            "engine='batched' does not support recorders or observers; "
+            "use engine='boundary' (or 'jit') for streaming hooks",
+        )
+        return self.run_batch(network, 1, source=source, rng=rng, max_time=max_time)[0]
+
+    def run_batch(
+        self,
+        network: DynamicNetwork,
+        trials: int,
+        source: Optional[Hashable] = None,
+        rng: RngLike = None,
+        max_time: Optional[float] = None,
+    ) -> List[SpreadResult]:
+        """Run ``trials`` independent trials on one network realisation.
+
+        Every trial starts from the same ``source`` on the same static
+        snapshot and shares the crash schedule; the randomness of the races
+        is independent across trials.  Returns one :class:`SpreadResult` per
+        trial, in trial order.
+        """
+        require_node_count(trials, minimum=1, name="trials")
+        reason = batched_supported(network)
+        require(reason is None, reason or "")
+        gen = ensure_rng(rng)
+        source = network.default_source() if source is None else source
+        require(source in network.node_set, f"source {source!r} is not a node of the network")
+        limit = default_time_limit(network.n) if max_time is None else max_time
+        require_positive(limit, "max_time")
+
+        network.reset(gen)
+        nodes = network.nodes
+        index_of = {label: i for i, label in enumerate(nodes)}
+        source_id = index_of[source]
+        snapshot = network.snapshot_for_step(0, {source})
+        down = _initial_down_mask(self.faults, nodes)
+        pending = _pending_crashes(self.faults, index_of)
+
+        n = snapshot.n
+        is_complete = snapshot.indices.size == n * (n - 1)
+        if is_complete and not pending and not down[source_id]:
+            return self._run_clique_batch(
+                snapshot, nodes, source_id, down, trials, gen, limit
+            )
+        return self._run_general_batch(
+            snapshot, nodes, source_id, down, pending, trials, gen, limit
+        )
+
+    # ------------------------------------------------------------------
+    # complete-graph closed form
+    # ------------------------------------------------------------------
+
+    def _run_clique_batch(
+        self,
+        snapshot: CsrSnapshot,
+        nodes: Tuple[Hashable, ...],
+        source_id: int,
+        down: np.ndarray,
+        trials: int,
+        gen: np.random.Generator,
+        limit: float,
+    ) -> List[SpreadResult]:
+        n = snapshot.n
+        a, b = self.variant.rate_coefficients()
+        delivery = self.faults.delivery_probability()
+        eligible = np.nonzero(~down)[0]
+        eligible = eligible[eligible != source_id]
+        m = int(eligible.size)
+        if m == 0 or delivery <= 0.0:
+            # Nothing to inform (or nothing can ever be delivered).
+            completed = m == 0
+            return [
+                self._build_result(
+                    nodes,
+                    source_id,
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0),
+                    completed,
+                    limit,
+                )
+                for _ in range(trials)
+            ]
+
+        # Stage rates: before the j-th informing event (j = 1..m) there are j
+        # informed and m - j + 1 eligible uninformed nodes, every cross pair
+        # contributing delivery·(a+b)/(n-1).
+        stage = np.arange(1, m + 1, dtype=np.float64)
+        rate = (delivery * (a + b) / (n - 1)) * stage * (m - stage + 1.0)
+        waits = gen.standard_exponential((trials, m)) / rate[None, :]
+        times = np.cumsum(waits, axis=1)
+        order = np.tile(eligible, (trials, 1))
+        gen.permuted(order, axis=1, out=order)
+
+        event_counts = (times < limit).sum(axis=1)
+        results = []
+        for t in range(trials):
+            k = int(event_counts[t])
+            results.append(
+                self._build_result(
+                    nodes, source_id, order[t, :k], times[t, :k], k == m, limit
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # general static path
+    # ------------------------------------------------------------------
+
+    def _batch_rates(
+        self, snapshot: CsrSnapshot, informed: np.ndarray, down: np.ndarray
+    ) -> np.ndarray:
+        """``(T, n)`` informing rates — the vectorised rebuild over all trials.
+
+        The batched analogue of ``AsynchronousRumorSpreading._build_rates``:
+        an adjacency entry ``(v, u)`` contributes ``a/d_u + b/d_v`` to
+        ``rates[t, v]`` exactly when, in trial ``t``, ``u`` is informed-and-up
+        and ``v`` is uninformed-and-up.  The per-owner reduction uses
+        ``np.add.reduceat`` over the CSR row boundaries.
+        """
+        T = informed.shape[0]
+        n = snapshot.n
+        edges = snapshot.indices
+        if edges.size == 0:
+            return np.zeros((T, n))
+        owner = snapshot.row_owner
+        up = ~down
+        a, b = self.variant.rate_coefficients()
+        inv = snapshot.inverse_degrees
+        crossing = (
+            informed[:, edges]
+            & up[edges][None, :]
+            & ~informed[:, owner]
+            & up[owner][None, :]
+        )
+        contribution = (a * inv[edges] + b * inv[owner])[None, :] * crossing
+        delivery = self.faults.delivery_probability()
+        if delivery != 1.0:
+            contribution *= delivery
+        starts = np.minimum(snapshot.indptr[:-1], edges.size - 1)
+        rates = np.add.reduceat(contribution, starts, axis=1)
+        empty = snapshot.indptr[:-1] == snapshot.indptr[1:]
+        if empty.any():
+            # reduceat yields the element at a repeated index, not a zero sum.
+            rates[:, empty] = 0.0
+        return np.ascontiguousarray(rates)
+
+    def _run_general_batch(
+        self,
+        snapshot: CsrSnapshot,
+        nodes: Tuple[Hashable, ...],
+        source_id: int,
+        down: np.ndarray,
+        pending: List[Tuple[float, int]],
+        trials: int,
+        gen: np.random.Generator,
+        limit: float,
+    ) -> List[SpreadResult]:
+        n = snapshot.n
+        T = trials
+        a, b = self.variant.rate_coefficients()
+        delivery = self.faults.delivery_probability()
+        inv = snapshot.inverse_degrees
+        indptr = snapshot.indptr
+        indices = snapshot.indices
+        degrees = snapshot.degrees
+
+        informed = np.zeros((T, n), dtype=bool)
+        informed[:, source_id] = True
+        informed_time = np.full((T, n), np.nan)
+        informed_time[:, source_id] = 0.0
+        down = down.copy()
+        remaining = np.full(
+            T, int(np.count_nonzero(~informed[0] & ~down)), dtype=np.int64
+        )
+        tau = np.zeros(T)
+
+        # √n-blocked rate rows: selection walks nb block sums, then one block.
+        block = max(1, math.isqrt(n))
+        nb = -(-n // block)
+        rates = np.zeros((T, nb * block))
+        rates[:, :n] = self._batch_rates(snapshot, informed, down)
+        block_sums = rates.reshape(T, nb, block).sum(axis=2)
+        totals = block_sums.sum(axis=1)
+
+        def refresh() -> None:
+            np.sum(rates.reshape(T, nb, block), axis=2, out=block_sums)
+            np.sum(block_sums, axis=1, out=totals)
+
+        # Scheduled crashes split the race into segments ending at each crash
+        # time (grouped, in case several nodes crash simultaneously) and
+        # finally at the horizon.
+        boundaries: List[Tuple[float, List[int]]] = []
+        for time, node_id in pending:
+            if boundaries and math.isclose(boundaries[-1][0], time):
+                boundaries[-1][1].append(node_id)
+            else:
+                boundaries.append((time, [node_id]))
+        boundaries.append((limit, []))
+
+        since_refresh = 0
+        for seg_end, crashing in boundaries:
+            while True:
+                active = np.nonzero((remaining > 0) & (tau < seg_end))[0]
+                if active.size == 0:
+                    break
+                act_totals = totals[active]
+                waits = np.where(
+                    act_totals > RATE_EPSILON,
+                    gen.standard_exponential(active.size)
+                    / np.maximum(act_totals, RATE_EPSILON),
+                    np.inf,
+                )
+                new_tau = tau[active] + waits
+                fires = new_tau < seg_end
+                tau[active] = np.where(fires, new_tau, seg_end)
+                firing = active[fires]
+                if firing.size == 0:
+                    continue
+                event_time = new_tau[fires]
+
+                # Two-level weighted draw: pick the block by its partial sum,
+                # then the entry inside the block.
+                thresholds = gen.random(firing.size) * totals[firing]
+                block_cum = np.cumsum(block_sums[firing], axis=1)
+                chosen_block = np.minimum(
+                    (block_cum < thresholds[:, None]).sum(axis=1), nb - 1
+                )
+                rows = np.arange(firing.size)
+                prefix = (
+                    block_cum[rows, chosen_block]
+                    - block_sums[firing, chosen_block]
+                )
+                inner = rates[
+                    firing[:, None],
+                    (chosen_block * block)[:, None] + np.arange(block)[None, :],
+                ]
+                inner_cum = np.cumsum(inner, axis=1)
+                offset = np.minimum(
+                    (inner_cum < (thresholds - prefix)[:, None]).sum(axis=1),
+                    block - 1,
+                )
+                new_ids = chosen_block * block + offset
+                bad = np.nonzero(
+                    (new_ids >= n) | (rates[firing, new_ids] <= 0.0)
+                )[0]
+                for i in bad:
+                    # Floating-point drift pushed the draw off a live entry;
+                    # clamp onto any positive rate (same as the serial engine).
+                    positive = np.nonzero(rates[firing[i], :n] > 0.0)[0]
+                    if positive.size == 0:
+                        # The tracked total drifted above a truly empty cut:
+                        # zero it so the trial stalls to the segment end.
+                        totals[firing[i]] = 0.0
+                        block_sums[firing[i]] = 0.0
+                        new_ids[i] = -1
+                        continue
+                    new_ids[i] = positive[0] if new_ids[i] >= n else positive[-1]
+                if bad.size:
+                    live = new_ids >= 0
+                    if not live.all():
+                        firing = firing[live]
+                        new_ids = new_ids[live]
+                        event_time = event_time[live]
+                        if firing.size == 0:
+                            continue
+
+                old = rates[firing, new_ids]
+                totals[firing] -= old
+                np.subtract.at(block_sums, (firing, new_ids // block), old)
+                rates[firing, new_ids] = 0.0
+                informed[firing, new_ids] = True
+                informed_time[firing, new_ids] = event_time
+                remaining[firing] -= 1
+
+                counts = degrees[new_ids]
+                if counts.sum():
+                    trial_rep = np.repeat(firing, counts)
+                    source_rep = np.repeat(new_ids, counts)
+                    shifts = np.repeat(np.cumsum(counts) - counts, counts)
+                    gather = (
+                        np.arange(counts.sum())
+                        - shifts
+                        + np.repeat(indptr[new_ids], counts)
+                    )
+                    neighbour = indices[gather]
+                    open_mask = ~informed[trial_rep, neighbour] & ~down[neighbour]
+                    if open_mask.any():
+                        trial_rep = trial_rep[open_mask]
+                        neighbour = neighbour[open_mask]
+                        source_rep = source_rep[open_mask]
+                        extra = delivery * (a * inv[source_rep] + b * inv[neighbour])
+                        # (trial, neighbour) pairs are unique within a batch —
+                        # one informing node per trial, simple graph — so the
+                        # fancy-indexed += is exact; block ids can repeat.
+                        rates[trial_rep, neighbour] += extra
+                        np.add.at(
+                            block_sums, (trial_rep, neighbour // block), extra
+                        )
+                        totals += np.bincount(trial_rep, weights=extra, minlength=T)
+
+                since_refresh += 1
+                if since_refresh >= REFRESH_INTERVAL:
+                    refresh()
+                    since_refresh = 0
+
+            if crashing:
+                fresh = [c for c in crashing if not down[c]]
+                for crashed_id in fresh:
+                    down[crashed_id] = True
+                if fresh:
+                    remaining -= (~informed[:, fresh]).sum(axis=1)
+                    rates[:, :n] = self._batch_rates(snapshot, informed, down)
+                    refresh()
+                    since_refresh = 0
+
+        results = []
+        completed = remaining == 0
+        for t in range(T):
+            ids = np.nonzero(informed[t])[0]
+            ids = ids[ids != source_id]
+            results.append(
+                self._build_result(
+                    nodes,
+                    source_id,
+                    ids,
+                    informed_time[t, ids],
+                    bool(completed[t]),
+                    limit,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # result construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _build_result(
+        nodes: Tuple[Hashable, ...],
+        source_id: int,
+        informed_ids: np.ndarray,
+        informed_at: np.ndarray,
+        completed: bool,
+        limit: float,
+    ) -> SpreadResult:
+        informed_times = {nodes[source_id]: 0.0}
+        for node_id, time in zip(informed_ids, informed_at):
+            informed_times[nodes[int(node_id)]] = float(time)
+        spread_time = max(informed_times.values()) if completed else math.inf
+        return SpreadResult(
+            spread_time=spread_time,
+            informed_times=informed_times,
+            completed=completed,
+            n=len(nodes),
+            steps_used=_steps_used(completed, spread_time, limit),
+            source=nodes[source_id],
+            synchronous=False,
+            events=len(informed_times) - 1,
+        )
+
+
+__all__ = ["BatchedRumorSpreading", "batched_supported", "REFRESH_INTERVAL"]

@@ -1,0 +1,124 @@
+"""The extracted per-event inner loop of the boundary engine (JIT-ready).
+
+``engine="jit"`` runs the same exponential race as the boundary engine, but
+with the per-event hot loop — wait sampling, cumsum + ``searchsorted``
+weighted selection, O(deg) incremental rate updates — extracted into a single
+kernel function that `numba <https://numba.pydata.org>`_ compiles when it is
+importable.  numba is an *optional* dependency: when it is absent the very
+same function body runs under CPython, so the fallback is bit-identical by
+construction (one source of truth, no divergent numpy re-implementation).
+
+Bit-identity rests on two deliberate restrictions inside the kernel:
+
+* all randomness is **pre-drawn outside** the kernel in deterministically
+  sized blocks (one ``standard_exponential`` per wait, one ``random`` per
+  selection), so the generator stream never depends on compilation mode;
+* floating-point accumulation happens either through ``np.cumsum`` (a
+  sequential left-to-right accumulation in both numpy and numba) or through
+  explicit sequential loops — never through ``np.sum``, whose numpy pairwise
+  summation would differ from numba's linear reduction.
+
+The kernel advances one *segment* of a run: events strictly before the given
+``horizon`` (the next snapshot boundary, scheduled crash or time limit).
+Snapshot changes, crash bookkeeping, recorders and observers stay in
+:mod:`repro.core.asynchronous`, which replays the kernel's event log through
+the observer hooks after each segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Total-rate threshold mirroring ``repro.core.asynchronous.RATE_EPSILON``
+#: (duplicated here so the kernel module imports nothing at JIT time).
+KERNEL_RATE_EPSILON = 1e-15
+
+
+def _boundary_segment(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    inverse_degrees: np.ndarray,
+    rates: np.ndarray,
+    informed: np.ndarray,
+    down: np.ndarray,
+    informed_time: np.ndarray,
+    event_nodes: np.ndarray,
+    event_times: np.ndarray,
+    exponentials: np.ndarray,
+    uniforms: np.ndarray,
+    tau: float,
+    total_rate: float,
+    horizon: float,
+    remaining: int,
+    a: float,
+    b: float,
+    delivery: float,
+):
+    """Advance the boundary race until ``horizon`` or no uninformed node remains.
+
+    Mutates ``rates`` / ``informed`` / ``informed_time`` in place, records the
+    informing events into ``event_nodes`` / ``event_times`` (pre-allocated to
+    at least ``remaining`` entries) and returns
+    ``(events, tau, total_rate, remaining)``.  ``exponentials`` must hold at
+    least ``remaining + 1`` pre-drawn standard-exponential variates and
+    ``uniforms`` at least ``remaining`` uniforms; the number consumed is a
+    deterministic function of the event count, so callers can pre-draw blocks
+    without the stream depending on the execution mode.
+    """
+    events = 0
+    while remaining > 0:
+        if total_rate <= KERNEL_RATE_EPSILON:
+            # No edge crosses the cut: nothing can happen before the horizon.
+            tau = horizon
+            break
+        wait = exponentials[events] / total_rate
+        if tau + wait >= horizon:
+            tau = horizon
+            break
+        tau = tau + wait
+        threshold = uniforms[events] * total_rate
+        cumulative = np.cumsum(rates)
+        new_id = int(np.searchsorted(cumulative, threshold))
+        if new_id >= rates.shape[0] or rates[new_id] <= 0.0:
+            # Same drift clamp as the boundary engine: land on a positive rate.
+            positive = np.nonzero(rates > 0.0)[0]
+            new_id = int(positive[-1] if new_id >= rates.shape[0] else positive[0])
+        informed[new_id] = True
+        informed_time[new_id] = tau
+        event_nodes[events] = new_id
+        event_times[events] = tau
+        events += 1
+        remaining -= 1
+        total_rate -= rates[new_id]
+        rates[new_id] = 0.0
+        for k in range(indptr[new_id], indptr[new_id + 1]):
+            neighbour = indices[k]
+            if not informed[neighbour] and not down[neighbour]:
+                extra = delivery * (
+                    a * inverse_degrees[new_id] + b * inverse_degrees[neighbour]
+                )
+                rates[neighbour] += extra
+                total_rate += extra
+    return events, tau, total_rate, remaining
+
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+    #: The compiled segment kernel (falls back to the plain function below).
+    boundary_segment = numba.njit(cache=True)(_boundary_segment)
+except ImportError:  # pragma: no cover - trivially the common path
+    HAVE_NUMBA = False
+    boundary_segment = _boundary_segment
+
+#: Always-interpreted reference implementation (for bit-identity tests).
+boundary_segment_reference = _boundary_segment
+
+
+__all__ = [
+    "HAVE_NUMBA",
+    "KERNEL_RATE_EPSILON",
+    "boundary_segment",
+    "boundary_segment_reference",
+]

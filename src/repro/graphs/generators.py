@@ -234,15 +234,33 @@ def erdos_renyi_csr(
     edge_probability: float,
     rng: RngLike = None,
     nodes: Optional[Sequence[Hashable]] = None,
+    method: str = "auto",
 ) -> CsrSnapshot:
     """Sample ``G(n, p)`` directly into CSR form.
 
     Every one of the ``n(n-1)/2`` potential edges is included independently
-    with probability ``p`` (the exact Erdős–Rényi model), swept in vectorised
-    chunks so no ``n × n`` dict-of-dict structure is ever materialised.
+    with probability ``p`` (the exact Erdős–Rényi model).  Two samplers
+    realise the same distribution:
+
+    * ``"bernoulli"`` — one uniform per pair, swept in vectorised chunks:
+      O(n²) variates, no ``n × n`` structure ever materialised;
+    * ``"geometric"`` — geometric-skip sampling: the gaps between successive
+      edges in condensed pair order are iid ``Geometric(p)``, so one variate
+      is drawn *per edge* — O(m) = O(p n²) work, which for sparse large-n
+      graphs (``p = Θ(log n / n)``) is orders of magnitude fewer draws.
+
+    ``"auto"`` keeps the Bernoulli sweep (and its generator stream, on which
+    existing fixed-seed graphs depend) up to :data:`ER_SAMPLING_CHUNK` pairs
+    and switches to geometric skips beyond that.  The two methods consume
+    different random streams: for a fixed seed they produce different (but
+    identically distributed) graphs.
     """
     require_node_count(n, minimum=1)
     require_probability(edge_probability, "edge_probability")
+    require(
+        method in ("auto", "bernoulli", "geometric"),
+        f"method must be 'auto', 'bernoulli' or 'geometric', got {method!r}",
+    )
     labels = range(n) if nodes is None else nodes
     require(
         len(labels) == n,
@@ -250,20 +268,53 @@ def erdos_renyi_csr(
     )
     gen = ensure_rng(rng)
     total_pairs = n * (n - 1) // 2
-    hits: List[np.ndarray] = []
-    offset = 0
-    while offset < total_pairs:
-        chunk = min(ER_SAMPLING_CHUNK, total_pairs - offset)
-        local = np.nonzero(gen.random(chunk) < edge_probability)[0]
-        if local.size:
-            hits.append(local + offset)
-        offset += chunk
-    if hits:
-        pair_ids = np.concatenate(hits)
+    if method == "auto":
+        method = "geometric" if total_pairs > ER_SAMPLING_CHUNK else "bernoulli"
+    if method == "geometric":
+        pair_ids = _geometric_pair_ids(gen, total_pairs, edge_probability)
+    else:
+        hits: List[np.ndarray] = []
+        offset = 0
+        while offset < total_pairs:
+            chunk = min(ER_SAMPLING_CHUNK, total_pairs - offset)
+            local = np.nonzero(gen.random(chunk) < edge_probability)[0]
+            if local.size:
+                hits.append(local + offset)
+            offset += chunk
+        pair_ids = (
+            np.concatenate(hits) if hits else np.empty(0, dtype=np.int64)
+        )
+    if pair_ids.size:
         u_ids, v_ids = condensed_to_pair(pair_ids, n)
     else:
         u_ids = v_ids = np.empty(0, dtype=np.int64)
     return CsrSnapshot.from_edge_arrays(labels, u_ids, v_ids)
+
+
+def _geometric_pair_ids(
+    gen: np.random.Generator, total_pairs: int, p: float
+) -> np.ndarray:
+    """Condensed indices of the sampled edges, one geometric variate per edge.
+
+    A Bernoulli(p) process over positions ``0..total_pairs-1`` has iid
+    ``Geometric(p)`` gaps between successes (support ``{1, 2, ...}``), so
+    cumulative sums of geometric draws walk exactly the positions the
+    Bernoulli sweep would have accepted — without touching the misses.
+    """
+    if p <= 0.0 or total_pairs == 0:
+        return np.empty(0, dtype=np.int64)
+    if p >= 1.0:
+        return np.arange(total_pairs, dtype=np.int64)
+    hits: List[np.ndarray] = []
+    position = -1  # last accepted position; the first gap starts from -1
+    while position < total_pairs:
+        remaining = total_pairs - position
+        # Enough draws to cross the remaining span w.h.p.; the tail loops.
+        block = max(1024, int(remaining * p * 1.05) + 64)
+        positions = position + np.cumsum(gen.geometric(p, size=block))
+        position = int(positions[-1])
+        hits.append(positions[positions < total_pairs])
+    return np.concatenate(hits).astype(np.int64, copy=False)
 
 
 def condensed_to_pair(pair_ids: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -66,10 +66,34 @@ class TestBenchDelta:
         )
         assert code == 1
 
-    def test_unmatched_gate_pattern_fails(self, files, capsys):
+    def test_unmatched_gate_pattern_warns_and_skips(self, files, capsys):
         baseline, current = files
         code = bench_delta.main(
             ["bench_delta.py", baseline, current, "--gate", "renamed_benchmark"]
         )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "WARN" in err and "matched no benchmark on either side" in err
+
+    def test_gate_on_one_sided_benchmark_warns_and_skips(self, tmp_path, capsys):
+        # A benchmark present only in the current run (just added, baseline
+        # not yet refreshed) must not fail its gate — only warn.
+        baseline = _write(tmp_path / "baseline.json", {"hot": 0.100})
+        current = _write(tmp_path / "current.json", {"hot": 0.101, "huge_new": 9.0})
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "hot", "--gate", "huge_new"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "WARN" in captured.err and "huge_new" in captured.err
+        assert "only unshared" in captured.err
+        assert "gate OK" in captured.out  # the shared gate still passes
+
+    def test_one_sided_warning_does_not_mask_real_regression(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "baseline.json", {"hot": 0.100})
+        current = _write(tmp_path / "current.json", {"hot": 0.200, "huge_new": 9.0})
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "hot", "--gate", "huge_new"]
+        )
         assert code == 1
-        assert "matched no shared benchmark" in capsys.readouterr().err
+        assert "regressed" in capsys.readouterr().err

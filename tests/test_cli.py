@@ -34,6 +34,16 @@ class TestParser:
         assert args.engine == "naive"
         assert args.workers == 4
 
+    def test_simulate_new_engines_parse(self):
+        for engine in ("batched", "jit", "auto"):
+            args = build_parser().parse_args(["simulate", "--engine", engine])
+            assert args.engine == engine
+
+    def test_simulate_profile_flag_parses(self):
+        args = build_parser().parse_args(["simulate", "--profile"])
+        assert args.profile is True
+        assert build_parser().parse_args(["simulate"]).profile is False
+
     def test_simulate_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--engine", "telepathy"])
@@ -190,6 +200,42 @@ class TestJsonOutput:
         assert {"trials", "completion_rate", "mean", "median", "whp", "min", "max", "std"} <= set(
             document["summary"]
         )
+
+    def test_simulate_batched_engine_runs(self):
+        buffer = io.StringIO()
+        code = main(
+            ["simulate", "--network", "clique", "--n", "32", "--trials", "5",
+             "--engine", "batched", "--json"],
+            out=buffer,
+        )
+        assert code == 0
+        document = json.loads(buffer.getvalue())
+        assert document["summary"]["trials"] == 5
+
+    def test_simulate_batched_engine_rejects_dynamic_network(self, capsys):
+        code = main(
+            ["simulate", "--network", "dynamic-star", "--n", "16",
+             "--engine", "batched"],
+            out=io.StringIO(),
+        )
+        assert code != 0
+        assert "static" in capsys.readouterr().err
+
+    def test_simulate_profile_prints_table_to_stderr(self, capsys):
+        buffer = io.StringIO()
+        code = main(
+            ["simulate", "--network", "clique", "--n", "16", "--trials", "2",
+             "--profile", "--json"],
+            out=buffer,
+        )
+        assert code == 0
+        # --json output on stdout must stay machine-parseable...
+        document = json.loads(buffer.getvalue())
+        assert document["network"] == "clique"
+        # ...while the profile table lands on stderr.
+        err = capsys.readouterr().err
+        assert "cumulative" in err
+        assert "function calls" in err
 
     def test_experiment_json_schema(self):
         buffer = io.StringIO()

@@ -138,3 +138,49 @@ class TestCsrGenerators:
         second = erdos_renyi_csr(50, 0.1, rng=123)
         assert np.array_equal(first.indices, second.indices)
         assert np.array_equal(first.indptr, second.indptr)
+
+    def test_erdos_renyi_geometric_edge_count_agrees_with_bernoulli(self):
+        # The geometric-skip sampler must realise the same G(n, p) model as
+        # the Bernoulli sweep: the edge count is Binomial(n(n-1)/2, p), so
+        # both empirical means must sit within a few standard errors of the
+        # exact expectation (and of each other).
+        n, p, reps = 40, 0.12, 300
+        pairs = n * (n - 1) // 2
+        mean = pairs * p
+        std = (pairs * p * (1 - p)) ** 0.5
+        counts = {
+            method: np.array(
+                [
+                    erdos_renyi_csr(n, p, rng=base + i, method=method).edge_count
+                    for i in range(reps)
+                ]
+            )
+            for base, method in ((10_000, "bernoulli"), (20_000, "geometric"))
+        }
+        tolerance = 5 * std / reps**0.5
+        for method, observed in counts.items():
+            assert abs(observed.mean() - mean) < tolerance, method
+        assert abs(counts["bernoulli"].mean() - counts["geometric"].mean()) < 2 * tolerance
+
+    def test_erdos_renyi_geometric_produces_simple_sorted_pairs(self):
+        snapshot = erdos_renyi_csr(120, 0.08, rng=9, method="geometric")
+        undirected = set()
+        for i in range(snapshot.n):
+            neighbours = snapshot.neighbors(i)
+            assert i not in set(int(j) for j in neighbours)  # no self loops
+            for j in neighbours:
+                undirected.add((min(i, int(j)), max(i, int(j))))
+        assert len(undirected) == snapshot.edge_count  # no duplicate edges
+
+    def test_erdos_renyi_geometric_extremes_and_validation(self):
+        assert erdos_renyi_csr(20, 0.0, rng=0, method="geometric").edge_count == 0
+        assert erdos_renyi_csr(20, 1.0, rng=0, method="geometric").edge_count == 190
+        with pytest.raises(ValueError, match="method"):
+            erdos_renyi_csr(20, 0.1, method="quantum")
+
+    def test_erdos_renyi_auto_threshold_keeps_small_n_stream(self):
+        # Small graphs stay on the Bernoulli sweep under method="auto", so
+        # fixed-seed graphs baked into tests and benchmarks are unchanged.
+        auto = erdos_renyi_csr(50, 0.1, rng=123, method="auto")
+        bernoulli = erdos_renyi_csr(50, 0.1, rng=123, method="bernoulli")
+        assert np.array_equal(auto.indices, bernoulli.indices)

@@ -1,0 +1,142 @@
+"""The jit engine: boundary-equivalent in distribution, numba-optional.
+
+``engine="jit"`` runs the boundary race through the extracted segment kernel
+of :mod:`repro.core.kernels`.  Its contracts:
+
+* distribution agreement with the boundary engine (same z-style criterion
+  the boundary/naive integration tests use), including faults;
+* bit-identical results between the dispatched kernel and the
+  always-interpreted reference for fixed seeds — trivially true when numba
+  is absent (same function object) and verified for real when it is
+  installed (the CI optional-deps job runs this file with numba);
+* observer hooks replayed from the kernel's event log in boundary order.
+"""
+
+import math
+import statistics
+
+import pytest
+
+from repro.core import kernels
+from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.core.faults import FaultModel
+from repro.dynamics.dichotomy import DynamicStarNetwork
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.generators import clique, path
+
+
+def mean_and_std(process, factory, trials, seed_base):
+    times = [process.run(factory(), rng=seed_base + s).spread_time for s in range(trials)]
+    return statistics.fmean(times), statistics.stdev(times)
+
+
+class TestJitAgreement:
+    @pytest.mark.parametrize(
+        "name,factory,faults",
+        [
+            ("path6", lambda: StaticDynamicNetwork(path(range(6))), None),
+            ("dynstar6", lambda: DynamicStarNetwork(6), None),
+            (
+                "clique8_drops",
+                lambda: StaticDynamicNetwork(clique(range(8))),
+                FaultModel(drop_probability=0.3),
+            ),
+            (
+                "clique8_crash",
+                lambda: StaticDynamicNetwork(clique(range(8))),
+                FaultModel(crash_times={3: 0.75, 5: 1.5}),
+            ),
+        ],
+    )
+    def test_agrees_with_boundary(self, name, factory, faults):
+        trials = 150
+        kwargs = {"faults": faults} if faults is not None else {}
+        boundary = AsynchronousRumorSpreading(engine="boundary", **kwargs)
+        jit = AsynchronousRumorSpreading(engine="jit", **kwargs)
+        mean_b, std_b = mean_and_std(boundary, factory, trials, 10_000)
+        mean_j, std_j = mean_and_std(jit, factory, trials, 20_000)
+        standard_error = math.sqrt(std_b**2 / trials + std_j**2 / trials)
+        assert abs(mean_b - mean_j) < 5 * standard_error + 0.05
+
+
+class TestJitDeterminism:
+    def test_reproducible_for_fixed_seed(self):
+        process = AsynchronousRumorSpreading(engine="jit")
+        first = process.run(StaticDynamicNetwork(clique(range(12))), rng=42)
+        second = process.run(StaticDynamicNetwork(clique(range(12))), rng=42)
+        assert first.spread_time == second.spread_time
+        assert first.informed_times == second.informed_times
+
+    def test_kernel_bit_identical_to_reference(self, monkeypatch):
+        """Dispatched kernel == interpreted reference, bit for bit.
+
+        When numba is absent the two names are the same function and this is
+        a tautology; with numba installed (CI optional-deps job) it checks
+        the compiled kernel reproduces the CPython fallback exactly — the
+        randomness is pre-drawn outside the kernel and the kernel restricts
+        itself to order-stable accumulation, so any divergence is a bug.
+        """
+        process = AsynchronousRumorSpreading(
+            engine="jit", faults=FaultModel(drop_probability=0.2, crash_times={4: 1.0})
+        )
+        factory = lambda: StaticDynamicNetwork(clique(range(15)))
+        dispatched = [process.run(factory(), rng=s).spread_time for s in range(8)]
+        monkeypatch.setattr(
+            kernels, "boundary_segment", kernels.boundary_segment_reference
+        )
+        reference = [process.run(factory(), rng=s).spread_time for s in range(8)]
+        assert dispatched == reference  # exact float equality, not approx
+
+    def test_have_numba_flag_matches_import(self):
+        try:
+            import numba  # noqa: F401
+
+            assert kernels.HAVE_NUMBA
+        except ImportError:
+            assert not kernels.HAVE_NUMBA
+            assert kernels.boundary_segment is kernels.boundary_segment_reference
+
+
+class TestJitObserverReplay:
+    def test_events_replayed_in_boundary_order(self):
+        class Recorder:
+            def __init__(self):
+                self.events = []
+                self.snapshots = []
+                self.completed = None
+
+            def on_snapshot(self, step, snapshot, informed_count):
+                self.snapshots.append((step, informed_count))
+
+            def on_event(self, time, node, informed_count):
+                self.events.append((time, node, informed_count))
+
+            def on_round(self, round_index, informed_count):
+                raise AssertionError("asynchronous engines never emit rounds")
+
+            def on_complete(self, result):
+                self.completed = result
+
+            def on_trial(self, index, result):
+                pass
+
+        observer = Recorder()
+        result = AsynchronousRumorSpreading(engine="jit").run(
+            StaticDynamicNetwork(clique(range(9))), rng=5, observer=observer
+        )
+        times = [time for time, _node, _count in observer.events]
+        counts = [count for _time, _node, count in observer.events]
+        assert times == sorted(times)
+        assert counts == list(range(2, len(observer.events) + 2))
+        assert observer.completed is result
+        assert observer.snapshots[0] == (0, 1)
+        assert len(observer.events) == result.informed_count - 1
+
+    def test_crashed_node_semantics_match_boundary(self):
+        faults = FaultModel(crashed_nodes=frozenset({2}))
+        result = AsynchronousRumorSpreading(engine="jit", faults=faults).run(
+            StaticDynamicNetwork(clique(range(6))), rng=11
+        )
+        assert result.completed
+        assert 2 not in result.informed_times
+        assert set(result.informed_times) == {0, 1, 3, 4, 5}
