@@ -3,7 +3,7 @@
 Usage::
 
     python benchmarks/bench_delta.py benchmarks/BENCH_baseline.json BENCH_engines.json \
-        [--threshold 30] [--gate NAME_OR_GLOB ...]
+        [--threshold 30] [--gate NAME_OR_GLOB ...] [--json PATH]
 
 Matches benchmarks by name and prints the mean runtime of each side plus the
 relative delta (negative = faster than the committed baseline).  Benchmarks
@@ -17,6 +17,11 @@ matches no benchmark *shared* by both files is warned about and skipped
 rather than failed: a freshly added benchmark is gated from the moment both
 sides record it, without breaking the delta job on the run that introduces
 it (or on a stale baseline).
+
+``--json PATH`` additionally writes a machine-readable delta document
+(``-`` for stdout): per-benchmark baseline/current means, percentage delta
+and gate flag, the one-sided name lists, the gate failures and the overall
+verdict — the exit code in data form, for CI summaries and tooling.
 """
 
 from __future__ import annotations
@@ -51,6 +56,10 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
         "--gate", action="append", default=[], metavar="NAME",
         help="benchmark name or fnmatch glob to gate on (repeatable); "
         "without any, the script only prints deltas",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="write a machine-readable delta document to PATH ('-' for stdout)",
     )
     return parser.parse_args(argv[1:])
 
@@ -116,6 +125,34 @@ def main(argv) -> int:
                 f"{name} regressed {deltas[name]:+.1f}% "
                 f"(threshold {args.threshold:.0f}%)"
             )
+
+    if args.json_path is not None:
+        document = {
+            "baseline": args.baseline,
+            "current": args.current,
+            "threshold_pct": args.threshold,
+            "benchmarks": {
+                name: {
+                    "baseline_s": baseline[name],
+                    "current_s": current[name],
+                    "delta_pct": deltas[name],
+                    "gated": name in gated,
+                }
+                for name in shared
+            },
+            "only_in_baseline": sorted(set(baseline) - set(current)),
+            "only_in_current": sorted(set(current) - set(baseline)),
+            "failures": list(failures),
+            "ok": not failures,
+        }
+        if args.json_path == "-":
+            json.dump(document, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+
     if failures:
         print()
         for failure in failures:

@@ -93,6 +93,26 @@ def test_bench_batched_10_trials_n10000_er(benchmark):
     assert all(r.completed for r in results)
 
 
+def test_bench_batched_10_trials_n10000_er_workers2(benchmark):
+    """The same 10×G(10⁴, p) batch sharded over 2 workers.
+
+    Exercises ``execute_batched``'s trial-axis sharding (contiguous spans of
+    the spawned generator list over the fork pool); results are bit-identical
+    to the unsharded batch, so the only interesting number is the wall-clock
+    ratio to ``test_bench_batched_10_trials_n10000_er``.
+    """
+    from repro.api._exec import execute_batched
+
+    network = StaticDynamicNetwork(erdos_renyi_csr(10_000, 0.00184, rng=7))
+    process = BatchedRumorSpreading()
+    spread_times, _, _ = benchmark.pedantic(
+        lambda: execute_batched(process, network, 10, rng=0, workers=2),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(spread_times) == 10 and all(t < float("inf") for t in spread_times)
+
+
 def test_bench_batched_single_run_n100000_er(benchmark):
     """Mega-scale gate: one full spread on G(10⁵, p) must stay tractable.
 

@@ -27,9 +27,21 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.state import SpreadResult
+from repro.dynamics.sequences import StaticDynamicNetwork
 from repro.utils.parallel import fork_map
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import require, require_node_count
+
+
+def _prewarm_static(network: object) -> None:
+    """Materialise a static network's CSR snapshot before forking workers.
+
+    The conversion cache is identity-keyed on the network object, so doing it
+    once in the parent lets every forked child inherit the adapter through
+    copy-on-write memory instead of re-converting per sub-batch.
+    """
+    if isinstance(network, StaticDynamicNetwork):
+        network.materialise()
 
 
 def _run_batch(
@@ -81,6 +93,11 @@ def execute_trials(
     )
     run_kwargs = {} if run_kwargs is None else dict(run_kwargs)
     generators = spawn_rngs(rng, trials)
+    if workers > 1 and trials > 1:
+        # Shared-instance factories hand the same network object to every
+        # forked child; convert its snapshot once here so the children do
+        # not each redo the CSR adaptation.
+        _prewarm_static(factory())
 
     spread_times: List[float] = []
     kept: List[SpreadResult] = []
@@ -145,19 +162,57 @@ def execute_batched(
     source: Optional[Hashable] = None,
     max_time: Optional[float] = None,
     keep_results: bool = False,
+    workers: int = 1,
 ) -> Tuple[List[float], List[SpreadResult], Optional[int]]:
     """Run ``trials`` trials through a batch-capable process in one call.
 
     The vectorised counterpart of :func:`execute_trials` for processes that
     expose ``run_batch`` (currently
     :class:`repro.core.batched.BatchedRumorSpreading`).  All trials share one
-    network realisation and consume the master generator stream directly —
-    statistics match the per-trial path in distribution, not trial-by-trial.
-    Returns the same ``(spread_times, kept_results, n)`` triple.
+    network realisation; randomness comes from one spawned generator per
+    trial, drawn here so that ``workers > 1`` can shard the trial axis into
+    contiguous sub-batches over the fork pool — each shard consumes exactly
+    its trials' generators, so the sharded results are bit-identical to the
+    single-process batch (and to any other worker count).  Falls back to one
+    unsharded batch on platforms without ``fork``.  Returns the same
+    ``(spread_times, kept_results, n)`` triple as :func:`execute_trials`.
     """
-    results = process.run_batch(
-        network, trials, source=source, rng=rng, max_time=max_time
+    require(
+        isinstance(workers, int) and workers >= 1,
+        f"workers must be a positive integer, got {workers!r}",
     )
+    generators = spawn_rngs(rng, trials)
+    _prewarm_static(network)
+
+    results: Optional[List[SpreadResult]] = None
+    if workers > 1 and trials > 1:
+        shards = min(workers, trials)
+        # Contiguous, near-even spans: shard i gets trials [bounds[i], bounds[i+1]).
+        bounds = np.linspace(0, trials, shards + 1).astype(int)
+        spans = [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(shards)
+            if bounds[i] < bounds[i + 1]
+        ]
+
+        def one_shard(span: Tuple[int, int]) -> List[SpreadResult]:
+            lo, hi = span
+            return process.run_batch(
+                network,
+                hi - lo,
+                source=source,
+                max_time=max_time,
+                generators=generators[lo:hi],
+            )
+
+        sharded = fork_map(one_shard, spans, workers)
+        if sharded is not None:
+            results = [result for shard in sharded for result in shard]
+    if results is None:
+        results = process.run_batch(
+            network, trials, source=source, max_time=max_time, generators=generators
+        )
+
     spread_times = [result.spread_time for result in results]
     kept = list(results) if keep_results else []
     return spread_times, kept, results[0].n

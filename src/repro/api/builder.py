@@ -63,6 +63,11 @@ if TYPE_CHECKING:  # pragma: no cover - lazy at runtime (scenarios imports us)
 ALGORITHMS = ("async", "sync")
 ENGINES = ("boundary", "naive", "jit", "batched", "auto")
 
+#: Smallest graph for which ``engine="auto"`` upgrades a single run to the
+#: compiled jit kernel (when numba is importable) — below this, compilation
+#: and block bookkeeping cost more than the plain boundary loop saves.
+AUTO_JIT_MIN_N = 4096
+
 #: Accepted ``network`` forms: family name, live network, or factory callable.
 NetworkLike = Union[str, DynamicNetwork, Callable[..., DynamicNetwork]]
 
@@ -222,9 +227,12 @@ class RunBuilder:
         reference), ``"jit"`` (boundary race through the optional
         numba-compiled kernel, numpy fallback when numba is absent),
         ``"batched"`` (all trials vectorised in one ``(trials, n)`` sweep;
-        static networks only, no observers or adaptive trials, ``workers``
-        is ignored), or ``"auto"`` (``.collect()``/``.sweep()`` pick the
-        batched path when the workload supports it, boundary otherwise).
+        static networks only, no observers or adaptive trials; ``workers``
+        shards the trial axis into per-worker sub-batches with bit-identical
+        results), or ``"auto"`` (``.collect()``/``.sweep()`` pick the
+        batched path when the workload supports it, boundary otherwise;
+        ``.once()`` picks the jit kernel for large graphs when numba is
+        importable — see :data:`AUTO_JIT_MIN_N`).
         """
         return self._replace(engine=name)
 
@@ -333,6 +341,54 @@ class RunBuilder:
             return spec.runner
         return resolve_process(spec.algorithm, spec.variant, spec.engine, spec.faults).run
 
+    def _once_runner(self, network: DynamicNetwork) -> Callable:
+        """Engine resolution for :meth:`once`: ``auto`` upgrades huge single runs.
+
+        A single trial cannot amortise the batched path, so ``auto`` here
+        means: the compiled jit kernel when numba is importable and the graph
+        is at least :data:`AUTO_JIT_MIN_N` nodes (where compilation pays for
+        itself), the plain boundary engine otherwise.  ``HAVE_NUMBA`` is read
+        at call time so the rule is testable without numba installed.
+        """
+        spec = self._spec
+        if spec.runner is None and spec.engine == "auto" and spec.algorithm == "async":
+            from repro.core import kernels
+
+            engine = (
+                "jit"
+                if kernels.HAVE_NUMBA and network.n >= AUTO_JIT_MIN_N
+                else "boundary"
+            )
+            return resolve_process(spec.algorithm, spec.variant, engine, spec.faults).run
+        return self._runner()
+
+    def resolved_engine(self) -> str:
+        """The concrete engine :meth:`collect` would execute (``auto`` resolved).
+
+        Useful for profiling and logging: ``engine="auto"`` resolves to
+        ``"batched"`` when the workload qualifies for the vectorised path
+        (asynchronous algorithm, static network, no streaming hooks, no
+        adaptive stop rule) and to the ``execute_trials`` fallback
+        (``"boundary"``) otherwise.  Synchronous runs report ``"sync"``;
+        explicit engines report themselves.  Building the probe network is
+        the only side effect.
+        """
+        spec = self._spec
+        spec.validate()
+        if spec.algorithm == "sync":
+            return "sync"
+        if spec.engine != "auto":
+            return spec.engine
+        if (
+            spec.runner is None
+            and not spec.run_kwargs
+            and self._observer() is None
+            and self._stop_rule() is None
+            and batched_supported(self._factory()()) is None
+        ):
+            return "batched"
+        return "boundary"
+
     def _factory(self, value: Any = None, sweep_name: str = "n") -> Callable[[], DynamicNetwork]:
         spec = self._spec
         network = spec.network
@@ -405,6 +461,7 @@ class RunBuilder:
                     source=source,
                     max_time=spec.max_time,
                     keep_results=spec.keep_results,
+                    workers=spec.workers,
                 )
         return execute_trials(
             runner=self._runner(),
@@ -438,7 +495,7 @@ class RunBuilder:
             kwargs["recorder"] = recorder
         network = self._factory()()
         gen = ensure_rng(spec.seed if rng is None else rng)
-        result = self._runner()(network, source=spec.source, rng=gen, **kwargs)
+        result = self._once_runner(network)(network, source=spec.source, rng=gen, **kwargs)
         if observer is not None:
             observer.on_trial(0, result)
         return RunResult(spec=spec, spread=result)

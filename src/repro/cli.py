@@ -317,6 +317,14 @@ def _command_simulate(args, out) -> int:
             code = _run_simulate(args, out)
         finally:
             profiler.disable()
+            try:
+                # Name the engine that actually executed (engine="auto"
+                # resolves per workload), so profiles of batched/jit runs are
+                # attributed to the right hot path.
+                resolved = _simulate_builder(args).resolved_engine()
+            except ValueError:
+                resolved = "unresolved (invalid configuration)"
+            print(f"profiled engine: {resolved}", file=sys.stderr)
             buffer = io.StringIO()
             pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(25)
             # stderr keeps --json output parseable and pipes clean.
@@ -325,23 +333,25 @@ def _command_simulate(args, out) -> int:
     return _run_simulate(args, out)
 
 
-def _run_simulate(args, out) -> int:
-    params = _simulate_params(args)
-    try:
-        trial_set = (
-            api.run(
-                network=args.network,
-                params=params,
-                algorithm=args.algorithm,
-                variant=args.variant,
-                engine=args.engine,
-                seed=args.seed,
-                network_seed=args.seed,
-            )
-            .trials(args.trials)
-            .workers(args.workers)
-            .collect()
+def _simulate_builder(args):
+    return (
+        api.run(
+            network=args.network,
+            params=_simulate_params(args),
+            algorithm=args.algorithm,
+            variant=args.variant,
+            engine=args.engine,
+            seed=args.seed,
+            network_seed=args.seed,
         )
+        .trials(args.trials)
+        .workers(args.workers)
+    )
+
+
+def _run_simulate(args, out) -> int:
+    try:
+        trial_set = _simulate_builder(args).collect()
     except ValueError as error:
         # Up-front engine/combination validation (e.g. batched on a dynamic
         # network) surfaces here; report it like the other commands do.

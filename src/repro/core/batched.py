@@ -6,34 +6,48 @@ bitmask, informing-rate array, clock — as 2-D ``(trials, n)`` arrays so the
 per-event work is a handful of large vectorised operations instead of ``T``
 Python event loops.  It produces the same :class:`repro.core.state.SpreadResult`
 objects as :class:`repro.core.asynchronous.AsynchronousRumorSpreading` and
-matches the boundary engine *in distribution* (it deliberately consumes the
-master generator stream directly rather than per-trial spawned streams, so
-individual trial results differ for a fixed seed while every statistic
+matches the boundary engine *in distribution* (individual trial results
+differ from the serial engines for a fixed seed while every statistic
 agrees; the test-suite checks agreement including drop and crash faults).
 
-Two execution paths, chosen per batch:
+Randomness is organised as **one spawned generator per trial**
+(:func:`repro.utils.rng.spawn_rngs`), and every trial's draw counts are a
+deterministic function of that trial's own state — never of the batch
+layout.  Consequence: running trials ``[0..T)`` in one batch, or as any
+contiguous sharding of sub-batches fed the same spawned generators (see
+``run_batch``'s ``generators`` parameter and
+``repro.api._exec.execute_batched``), produces bit-identical results, which
+is what lets ``workers=k`` shard the trial axis across the fork pool.
 
-**Complete-graph closed form.**  On a clique every informed/uninformed pair
-contributes the same rate ``delivery·(a+b)/(n-1)``, so with ``m`` eligible
-(up, uninformed) nodes the wait before the ``j``-th informing event is
-``Exp(λ_j)`` with ``λ_j = c·j·(m-j+1)`` and the informing order is a uniform
-random permutation of the eligible nodes.  The whole batch is two array
-draws: a ``(T, m)`` matrix of exponentials (cumulative-summed into event
-times) and a per-trial permutation.  Used whenever the snapshot is complete,
+Three execution paths, chosen per batch by the ``method`` knob:
+
+**Complete-graph closed form** (``method="auto"`` on cliques).  On a clique
+every informed/uninformed pair contributes the same rate
+``delivery·(a+b)/(n-1)``, so with ``m`` eligible (up, uninformed) nodes the
+wait before the ``j``-th informing event is ``Exp(λ_j)`` with
+``λ_j = c·j·(m-j+1)`` and the informing order is a uniform random
+permutation of the eligible nodes.  Used whenever the snapshot is complete,
 the source is up and no crash is *scheduled* (initially-down nodes are fine —
 they only shrink ``m``; degrees still count them).
 
-**General static path.**  For any other static network the engine advances
-all trials one informing event at a time: one exponential wait per active
-trial, a two-level (``√n``-blocked) weighted draw over each trial's rate row,
-then a scatter update of the O(deg) neighbour rates of every newly informed
-node across trials.  Per-trial totals and per-block partial sums are
-maintained incrementally and refreshed periodically to absorb floating-point
-drift (with a clamp onto a positive-rate entry as the last resort, mirroring
-the boundary engine's ``_choose_weighted``).  Scheduled crashes split the
-race into segments; each boundary applies the (trial-independent) down mask
-and rebuilds every trial's rates in one vectorised pass over the directed
-edge arrays.
+**First-passage percolation** (``method="auto"`` elsewhere, or
+``method="percolation"``).  The race is *exactly* equivalent in distribution
+to single-source shortest paths under independent ``Exp(rate)`` delays on the
+directed adjacency entries — see :mod:`repro.core.percolation` for the
+argument, including why drop faults (rate scaling), scheduled crashes
+(per-entry clips) and the time horizon (monotone censoring) all stay exact.
+One ``(T, m)`` exponential draw plus a vectorised frontier relaxation
+replaces the entire event loop; this is the path that closes the
+general-graph batch gap (~30× over the event-lockstep path at n=10⁴).
+
+**Event lockstep race** (``method="race"``).  The literal batched race:
+advance every active trial one event per pass with a √n-blocked two-level
+weighted draw over each trial's rate row.  The per-trial segment loop is a
+single-source kernel in :mod:`repro.core.kernels` — numba-compiled scalar
+loop when numba is importable, bit-identical numpy lockstep otherwise — with
+all randomness pre-drawn per trial per segment.  Kept as the structural
+cross-check of the percolation path (the test-suite pits the two against
+each other distributionally) and for the compiled-kernel speed path.
 
 Because all trials share one network realisation, the engine requires a
 :class:`repro.dynamics.sequences.StaticDynamicNetwork` — snapshot changes at
@@ -45,28 +59,32 @@ boundary engine's re-sampling there is a no-op by memorylessness.
 from __future__ import annotations
 
 import math
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.asynchronous import (
-    RATE_EPSILON,
     _initial_down_mask,
     _pending_crashes,
     default_time_limit,
 )
 from repro.core.faults import FaultModel
+from repro.core.percolation import entry_transmission_rates, first_passage_times
 from repro.core.state import SpreadResult
 from repro.core.variants import Variant
 from repro.dynamics.base import DynamicNetwork
 from repro.dynamics.sequences import StaticDynamicNetwork
 from repro.graphs.csr import CsrSnapshot
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import require, require_node_count, require_positive
 
-#: Recompute per-trial totals and block partial sums every this many events
-#: to keep incremental floating-point drift bounded.
+#: Recompute per-trial totals and block partial sums every this many of the
+#: trial's own events to keep incremental floating-point drift bounded.
 REFRESH_INTERVAL = 64
+
+#: Engine-internal execution strategies for the general static path.
+BATCH_METHODS = ("auto", "percolation", "race")
 
 
 def batched_supported(network: DynamicNetwork) -> Optional[str]:
@@ -103,16 +121,27 @@ class BatchedRumorSpreading:
     faults:
         Optional :class:`repro.core.faults.FaultModel`.  Message drops scale
         every rate; initially-crashed nodes are masked out; scheduled crashes
-        split the batch race into segments.
+        split the batch race into segments (or clip percolation entries).
+    method:
+        General-path strategy: ``"auto"`` (clique closed form where it
+        applies, first-passage percolation elsewhere), ``"percolation"``
+        (force the first-passage solver), or ``"race"`` (force the
+        event-lockstep kernel path).
     """
 
     def __init__(
         self,
         variant: Variant = Variant.PUSH_PULL,
         faults: Optional[FaultModel] = None,
+        method: str = "auto",
     ):
+        require(
+            method in BATCH_METHODS,
+            f"method must be one of {BATCH_METHODS}, got {method!r}",
+        )
         self.variant = variant
         self.faults = faults if faults is not None else FaultModel.none()
+        self.method = method
 
     # ------------------------------------------------------------------
     # public API
@@ -147,24 +176,37 @@ class BatchedRumorSpreading:
         source: Optional[Hashable] = None,
         rng: RngLike = None,
         max_time: Optional[float] = None,
+        generators: Optional[Sequence[np.random.Generator]] = None,
     ) -> List[SpreadResult]:
         """Run ``trials`` independent trials on one network realisation.
 
         Every trial starts from the same ``source`` on the same static
         snapshot and shares the crash schedule; the randomness of the races
-        is independent across trials.  Returns one :class:`SpreadResult` per
-        trial, in trial order.
+        is independent across trials, driven by one spawned generator per
+        trial.  ``generators`` overrides the spawn: passing
+        ``spawn_rngs(rng, total)[lo:hi]`` for a contiguous span reproduces
+        exactly trials ``lo..hi`` of the unsharded batch — the contract
+        ``execute_batched`` relies on to split a batch across workers.
+        Returns one :class:`SpreadResult` per trial, in trial order.
         """
         require_node_count(trials, minimum=1, name="trials")
         reason = batched_supported(network)
         require(reason is None, reason or "")
-        gen = ensure_rng(rng)
+        if generators is not None:
+            gens = list(generators)
+            require(
+                len(gens) == trials,
+                f"generators must supply one generator per trial "
+                f"({trials}), got {len(gens)}",
+            )
+        else:
+            gens = spawn_rngs(rng, trials)
         source = network.default_source() if source is None else source
         require(source in network.node_set, f"source {source!r} is not a node of the network")
         limit = default_time_limit(network.n) if max_time is None else max_time
         require_positive(limit, "max_time")
 
-        network.reset(gen)
+        network.reset(None)
         nodes = network.nodes
         index_of = {label: i for i, label in enumerate(nodes)}
         source_id = index_of[source]
@@ -174,12 +216,19 @@ class BatchedRumorSpreading:
 
         n = snapshot.n
         is_complete = snapshot.indices.size == n * (n - 1)
-        if is_complete and not pending and not down[source_id]:
-            return self._run_clique_batch(
-                snapshot, nodes, source_id, down, trials, gen, limit
+        if (
+            self.method == "auto"
+            and is_complete
+            and not pending
+            and not down[source_id]
+        ):
+            return self._run_clique_batch(snapshot, nodes, source_id, down, gens, limit)
+        if self.method == "race":
+            return self._run_race_batch(
+                snapshot, nodes, source_id, down, pending, gens, limit
             )
-        return self._run_general_batch(
-            snapshot, nodes, source_id, down, pending, trials, gen, limit
+        return self._run_percolation_batch(
+            snapshot, nodes, source_id, down, pending, gens, limit
         )
 
     # ------------------------------------------------------------------
@@ -192,11 +241,11 @@ class BatchedRumorSpreading:
         nodes: Tuple[Hashable, ...],
         source_id: int,
         down: np.ndarray,
-        trials: int,
-        gen: np.random.Generator,
+        gens: List[np.random.Generator],
         limit: float,
     ) -> List[SpreadResult]:
         n = snapshot.n
+        trials = len(gens)
         a, b = self.variant.rate_coefficients()
         delivery = self.faults.delivery_probability()
         eligible = np.nonzero(~down)[0]
@@ -222,10 +271,13 @@ class BatchedRumorSpreading:
         # contributing delivery·(a+b)/(n-1).
         stage = np.arange(1, m + 1, dtype=np.float64)
         rate = (delivery * (a + b) / (n - 1)) * stage * (m - stage + 1.0)
-        waits = gen.standard_exponential((trials, m)) / rate[None, :]
+        waits = np.empty((trials, m))
+        order = np.empty((trials, m), dtype=np.int64)
+        for t, gen in enumerate(gens):
+            waits[t] = gen.standard_exponential(m)
+            order[t] = gen.permutation(eligible)
+        waits /= rate[None, :]
         times = np.cumsum(waits, axis=1)
-        order = np.tile(eligible, (trials, 1))
-        gen.permuted(order, axis=1, out=order)
 
         event_counts = (times < limit).sum(axis=1)
         results = []
@@ -239,7 +291,73 @@ class BatchedRumorSpreading:
         return results
 
     # ------------------------------------------------------------------
-    # general static path
+    # first-passage percolation path (default for general static graphs)
+    # ------------------------------------------------------------------
+
+    def _run_percolation_batch(
+        self,
+        snapshot: CsrSnapshot,
+        nodes: Tuple[Hashable, ...],
+        source_id: int,
+        down: np.ndarray,
+        pending: List[Tuple[float, int]],
+        gens: List[np.random.Generator],
+        limit: float,
+    ) -> List[SpreadResult]:
+        n = snapshot.n
+        trials = len(gens)
+        a, b = self.variant.rate_coefficients()
+        delivery = self.faults.delivery_probability()
+        m = int(snapshot.indices.size)
+
+        delays = np.empty((trials, m))
+        for t, gen in enumerate(gens):
+            delays[t] = gen.standard_exponential(m)
+        if delivery <= 0.0:
+            delays[:] = np.inf
+        elif m:
+            delays /= entry_transmission_rates(snapshot, a, b, delivery)[None, :]
+        if down.any() and m:
+            unusable = down[snapshot.row_owner] | down[snapshot.indices]
+            delays[:, unusable] = np.inf
+
+        theta = np.full(n, np.inf)
+        for time, node_id in pending:
+            theta[node_id] = min(theta[node_id], time)
+        clip = None
+        if pending and m:
+            clip = np.minimum(theta[snapshot.row_owner], theta[snapshot.indices])
+
+        times = first_passage_times(
+            snapshot.indptr,
+            snapshot.indices,
+            snapshot.degrees,
+            delays,
+            source_id,
+            clip=clip,
+            limit=limit,
+        )
+        informed = np.isfinite(times)
+        # A trial is complete when every node is informed or excused: down
+        # from the start, or scheduled to crash strictly inside the horizon
+        # (the event engines drop such nodes from `remaining` at the crash
+        # boundary).
+        excused = down | (theta < limit)
+        completed = (informed | excused[None, :]).all(axis=1)
+
+        results = []
+        for t in range(trials):
+            ids = np.nonzero(informed[t])[0]
+            ids = ids[ids != source_id]
+            results.append(
+                self._build_result(
+                    nodes, source_id, ids, times[t, ids], bool(completed[t]), limit
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # event-lockstep race path (kernel-backed cross-check)
     # ------------------------------------------------------------------
 
     def _batch_rates(
@@ -251,7 +369,10 @@ class BatchedRumorSpreading:
         an adjacency entry ``(v, u)`` contributes ``a/d_u + b/d_v`` to
         ``rates[t, v]`` exactly when, in trial ``t``, ``u`` is informed-and-up
         and ``v`` is uninformed-and-up.  The per-owner reduction uses
-        ``np.add.reduceat`` over the CSR row boundaries.
+        ``np.add.reduceat`` over the CSR row boundaries — a sequential
+        left-to-right reduction, bit-identical to the compiled
+        ``kernels.batched_rebuild`` (its skipped non-crossing entries are
+        exact ``+ 0.0`` no-ops here).
         """
         T = informed.shape[0]
         n = snapshot.n
@@ -280,19 +401,39 @@ class BatchedRumorSpreading:
             rates[:, empty] = 0.0
         return np.ascontiguousarray(rates)
 
-    def _run_general_batch(
+    def _rebuild_rates(
+        self, snapshot: CsrSnapshot, informed: np.ndarray, down: np.ndarray
+    ) -> np.ndarray:
+        """Crash-boundary rebuild: compiled kernel when available, else reduceat."""
+        if kernels.HAVE_NUMBA:
+            a, b = self.variant.rate_coefficients()
+            out = np.empty((informed.shape[0], snapshot.n))
+            kernels.batched_rebuild(
+                snapshot.indptr,
+                snapshot.indices,
+                snapshot.inverse_degrees,
+                informed,
+                down,
+                a,
+                b,
+                self.faults.delivery_probability(),
+                out,
+            )
+            return out
+        return self._batch_rates(snapshot, informed, down)
+
+    def _run_race_batch(
         self,
         snapshot: CsrSnapshot,
         nodes: Tuple[Hashable, ...],
         source_id: int,
         down: np.ndarray,
         pending: List[Tuple[float, int]],
-        trials: int,
-        gen: np.random.Generator,
+        gens: List[np.random.Generator],
         limit: float,
     ) -> List[SpreadResult]:
         n = snapshot.n
-        T = trials
+        T = len(gens)
         a, b = self.variant.rate_coefficients()
         delivery = self.faults.delivery_probability()
         inv = snapshot.inverse_degrees
@@ -314,130 +455,103 @@ class BatchedRumorSpreading:
         block = max(1, math.isqrt(n))
         nb = -(-n // block)
         rates = np.zeros((T, nb * block))
-        rates[:, :n] = self._batch_rates(snapshot, informed, down)
-        block_sums = rates.reshape(T, nb, block).sum(axis=2)
-        totals = block_sums.sum(axis=1)
-
-        def refresh() -> None:
-            np.sum(rates.reshape(T, nb, block), axis=2, out=block_sums)
-            np.sum(block_sums, axis=1, out=totals)
+        rates[:, :n] = self._rebuild_rates(snapshot, informed, down)
+        # cumsum-take-last = the sequential sums the kernels' refresh uses.
+        block_sums = np.ascontiguousarray(
+            np.cumsum(rates.reshape(T, nb, block), axis=2)[:, :, -1]
+        )
+        totals = np.ascontiguousarray(np.cumsum(block_sums, axis=1)[:, -1])
+        since_refresh = np.zeros(T, dtype=np.int64)
 
         # Scheduled crashes split the race into segments ending at each crash
         # time (grouped, in case several nodes crash simultaneously) and
-        # finally at the horizon.
+        # finally at the horizon.  Crashes at or beyond the horizon never
+        # happen inside a run, so they neither bound a segment nor excuse the
+        # node from `remaining`.
         boundaries: List[Tuple[float, List[int]]] = []
         for time, node_id in pending:
+            if time >= limit:
+                continue
             if boundaries and math.isclose(boundaries[-1][0], time):
                 boundaries[-1][1].append(node_id)
             else:
                 boundaries.append((time, [node_id]))
         boundaries.append((limit, []))
 
-        since_refresh = 0
         for seg_end, crashing in boundaries:
-            while True:
-                active = np.nonzero((remaining > 0) & (tau < seg_end))[0]
-                if active.size == 0:
-                    break
-                act_totals = totals[active]
-                waits = np.where(
-                    act_totals > RATE_EPSILON,
-                    gen.standard_exponential(active.size)
-                    / np.maximum(act_totals, RATE_EPSILON),
-                    np.inf,
-                )
-                new_tau = tau[active] + waits
-                fires = new_tau < seg_end
-                tau[active] = np.where(fires, new_tau, seg_end)
-                firing = active[fires]
-                if firing.size == 0:
-                    continue
-                event_time = new_tau[fires]
+            # Pre-draw each trial's randomness for the whole segment: at most
+            # remaining+2 exponentials and remaining+1 uniforms (events, one
+            # drift clamp, the final over-the-horizon wait).  Sizes depend
+            # only on the trial's own state, so sharded sub-batches draw the
+            # same per-trial sequences.
+            caps_e = remaining + 2
+            caps_u = remaining + 1
+            exponentials = np.zeros((T, int(caps_e.max())))
+            uniforms = np.zeros((T, int(caps_u.max())))
+            for t, gen in enumerate(gens):
+                exponentials[t, : caps_e[t]] = gen.standard_exponential(int(caps_e[t]))
+                uniforms[t, : caps_u[t]] = gen.random(int(caps_u[t]))
 
-                # Two-level weighted draw: pick the block by its partial sum,
-                # then the entry inside the block.
-                thresholds = gen.random(firing.size) * totals[firing]
-                block_cum = np.cumsum(block_sums[firing], axis=1)
-                chosen_block = np.minimum(
-                    (block_cum < thresholds[:, None]).sum(axis=1), nb - 1
-                )
-                rows = np.arange(firing.size)
-                prefix = (
-                    block_cum[rows, chosen_block]
-                    - block_sums[firing, chosen_block]
-                )
-                inner = rates[
-                    firing[:, None],
-                    (chosen_block * block)[:, None] + np.arange(block)[None, :],
-                ]
-                inner_cum = np.cumsum(inner, axis=1)
-                offset = np.minimum(
-                    (inner_cum < (thresholds - prefix)[:, None]).sum(axis=1),
-                    block - 1,
-                )
-                new_ids = chosen_block * block + offset
-                bad = np.nonzero(
-                    (new_ids >= n) | (rates[firing, new_ids] <= 0.0)
-                )[0]
-                for i in bad:
-                    # Floating-point drift pushed the draw off a live entry;
-                    # clamp onto any positive rate (same as the serial engine).
-                    positive = np.nonzero(rates[firing[i], :n] > 0.0)[0]
-                    if positive.size == 0:
-                        # The tracked total drifted above a truly empty cut:
-                        # zero it so the trial stalls to the segment end.
-                        totals[firing[i]] = 0.0
-                        block_sums[firing[i]] = 0.0
-                        new_ids[i] = -1
-                        continue
-                    new_ids[i] = positive[0] if new_ids[i] >= n else positive[-1]
-                if bad.size:
-                    live = new_ids >= 0
-                    if not live.all():
-                        firing = firing[live]
-                        new_ids = new_ids[live]
-                        event_time = event_time[live]
-                        if firing.size == 0:
-                            continue
-
-                old = rates[firing, new_ids]
-                totals[firing] -= old
-                np.subtract.at(block_sums, (firing, new_ids // block), old)
-                rates[firing, new_ids] = 0.0
-                informed[firing, new_ids] = True
-                informed_time[firing, new_ids] = event_time
-                remaining[firing] -= 1
-
-                counts = degrees[new_ids]
-                if counts.sum():
-                    trial_rep = np.repeat(firing, counts)
-                    source_rep = np.repeat(new_ids, counts)
-                    shifts = np.repeat(np.cumsum(counts) - counts, counts)
-                    gather = (
-                        np.arange(counts.sum())
-                        - shifts
-                        + np.repeat(indptr[new_ids], counts)
+            if kernels.HAVE_NUMBA:
+                fstate = np.empty(2)
+                istate = np.empty(2, dtype=np.int64)
+                for t in range(T):
+                    fstate[0] = tau[t]
+                    fstate[1] = totals[t]
+                    istate[0] = remaining[t]
+                    istate[1] = since_refresh[t]
+                    kernels.batched_trial_segment(
+                        indptr,
+                        indices,
+                        inv,
+                        rates[t],
+                        block_sums[t],
+                        informed[t],
+                        down,
+                        informed_time[t],
+                        exponentials[t],
+                        uniforms[t],
+                        fstate,
+                        istate,
+                        float(seg_end),
+                        a,
+                        b,
+                        delivery,
+                        block,
+                        nb,
+                        n,
+                        REFRESH_INTERVAL,
                     )
-                    neighbour = indices[gather]
-                    open_mask = ~informed[trial_rep, neighbour] & ~down[neighbour]
-                    if open_mask.any():
-                        trial_rep = trial_rep[open_mask]
-                        neighbour = neighbour[open_mask]
-                        source_rep = source_rep[open_mask]
-                        extra = delivery * (a * inv[source_rep] + b * inv[neighbour])
-                        # (trial, neighbour) pairs are unique within a batch —
-                        # one informing node per trial, simple graph — so the
-                        # fancy-indexed += is exact; block ids can repeat.
-                        rates[trial_rep, neighbour] += extra
-                        np.add.at(
-                            block_sums, (trial_rep, neighbour // block), extra
-                        )
-                        totals += np.bincount(trial_rep, weights=extra, minlength=T)
-
-                since_refresh += 1
-                if since_refresh >= REFRESH_INTERVAL:
-                    refresh()
-                    since_refresh = 0
+                    tau[t] = fstate[0]
+                    totals[t] = fstate[1]
+                    remaining[t] = istate[0]
+                    since_refresh[t] = istate[1]
+            else:
+                kernels.batched_segment_fallback(
+                    indptr,
+                    indices,
+                    inv,
+                    degrees,
+                    rates,
+                    block_sums,
+                    totals,
+                    informed,
+                    down,
+                    informed_time,
+                    tau,
+                    remaining,
+                    since_refresh,
+                    exponentials,
+                    uniforms,
+                    float(seg_end),
+                    a,
+                    b,
+                    delivery,
+                    block,
+                    nb,
+                    n,
+                    REFRESH_INTERVAL,
+                )
 
             if crashing:
                 fresh = [c for c in crashing if not down[c]]
@@ -445,9 +559,12 @@ class BatchedRumorSpreading:
                     down[crashed_id] = True
                 if fresh:
                     remaining -= (~informed[:, fresh]).sum(axis=1)
-                    rates[:, :n] = self._batch_rates(snapshot, informed, down)
-                    refresh()
-                    since_refresh = 0
+                    rates[:, :n] = self._rebuild_rates(snapshot, informed, down)
+                    block_sums[:] = np.cumsum(
+                        rates.reshape(T, nb, block), axis=2
+                    )[:, :, -1]
+                    totals[:] = np.cumsum(block_sums, axis=1)[:, -1]
+                    since_refresh[:] = 0
 
         results = []
         completed = remaining == 0
@@ -495,4 +612,9 @@ class BatchedRumorSpreading:
         )
 
 
-__all__ = ["BatchedRumorSpreading", "batched_supported", "REFRESH_INTERVAL"]
+__all__ = [
+    "BATCH_METHODS",
+    "BatchedRumorSpreading",
+    "batched_supported",
+    "REFRESH_INTERVAL",
+]

@@ -23,6 +23,16 @@ The kernel advances one *segment* of a run: events strictly before the given
 Snapshot changes, crash bookkeeping, recorders and observers stay in
 :mod:`repro.core.asynchronous`, which replays the kernel's event log through
 the observer hooks after each segment.
+
+The same recipe extends to the trial-batched engine's event-lockstep path
+(``method="race"`` in :mod:`repro.core.batched`): a scalar per-trial segment
+kernel (:func:`batched_trial_segment`, compiled under numba) paired with a
+numpy lockstep twin (:func:`batched_segment_fallback`) that advances every
+active trial one event per pass.  All accumulators are per-trial floats, so
+bit-identity only requires each trial to see the same operation sequence in
+both modes — the invariants are spelled out on the two functions.  The
+crash-boundary rate rebuild gets the same treatment
+(:func:`batched_rebuild` vs the engine's ``reduceat`` path).
 """
 
 from __future__ import annotations
@@ -102,18 +112,332 @@ def _boundary_segment(
     return events, tau, total_rate, remaining
 
 
+def _batched_trial_segment(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    inverse_degrees: np.ndarray,
+    rates_row: np.ndarray,
+    block_sums_row: np.ndarray,
+    informed_row: np.ndarray,
+    down: np.ndarray,
+    informed_time_row: np.ndarray,
+    exponentials: np.ndarray,
+    uniforms: np.ndarray,
+    fstate: np.ndarray,
+    istate: np.ndarray,
+    seg_end: float,
+    a: float,
+    b: float,
+    delivery: float,
+    block: int,
+    nb: int,
+    n: int,
+    refresh_interval: int,
+):
+    """Advance ONE trial of the batched race until ``seg_end`` (scalar kernel).
+
+    This is the compiled half of the batched two-level selection: the same
+    √n-blocked weighted draw the numpy lockstep fallback performs across all
+    trials at once, written as a scalar per-trial loop so numba turns the
+    whole segment into machine code with zero python dispatch per event.
+
+    State is carried in-place: ``rates_row`` / ``block_sums_row`` (padded to
+    ``nb·block``), ``informed_row`` / ``informed_time_row``, plus
+    ``fstate = [tau, total_rate]`` and ``istate = [remaining, since_refresh]``.
+    ``exponentials`` must hold at least ``remaining + 2`` variates and
+    ``uniforms`` at least ``remaining + 1`` — one pair per event, one pair for
+    an at-most-once drift clamp onto an empty cut, one exponential for the
+    final over-the-horizon wait.  Consumption is a deterministic function of
+    the trial's own state, never of the batch layout, which is what makes
+    sharded sub-batches reproduce the unsharded stream exactly.
+
+    Bit-identity with the lockstep fallback rests on per-trial accumulation
+    order: block/inner selection counts partial sums left to right (the
+    ``np.cumsum`` order), the selection prefix is re-derived from the same
+    partial sum, neighbour updates apply in CSR order, and the periodic
+    refresh re-sums blocks sequentially (``np.cumsum``-take-last in the
+    fallback).  ``np.sum`` (pairwise) appears nowhere on either side.
+    """
+    tau = fstate[0]
+    total = fstate[1]
+    remaining = istate[0]
+    since = istate[1]
+    ke = 0
+    ku = 0
+    while remaining > 0 and tau < seg_end:
+        e = exponentials[ke]
+        ke += 1
+        if total > KERNEL_RATE_EPSILON:
+            wait = e / total
+        else:
+            wait = np.inf
+        new_tau = tau + wait
+        if not new_tau < seg_end:
+            tau = seg_end
+            break
+        tau = new_tau
+        threshold = uniforms[ku] * total
+        ku += 1
+
+        # Two-level weighted draw: count block partial sums below the
+        # threshold (no early break — identical to the lockstep's
+        # ``(cumsum < threshold).sum()`` even when drift makes the running
+        # sum momentarily non-monotonic), then re-derive the prefix from the
+        # same left-to-right accumulation.
+        cumulative = 0.0
+        count = 0
+        for j in range(nb):
+            cumulative += block_sums_row[j]
+            if cumulative < threshold:
+                count += 1
+        chosen_block = count if count <= nb - 1 else nb - 1
+        prefix_cum = 0.0
+        for j in range(chosen_block + 1):
+            prefix_cum += block_sums_row[j]
+        inner_threshold = threshold - (prefix_cum - block_sums_row[chosen_block])
+        base = chosen_block * block
+        inner_cum = 0.0
+        inner_count = 0
+        for i in range(block):
+            inner_cum += rates_row[base + i]
+            if inner_cum < inner_threshold:
+                inner_count += 1
+        offset = inner_count if inner_count <= block - 1 else block - 1
+        new_id = base + offset
+
+        if new_id >= n or rates_row[new_id] <= 0.0:
+            # Drift clamp, mirroring the serial engine: land on a positive
+            # rate, or zero the trial's tracked sums when the cut is empty.
+            first = -1
+            last = -1
+            for idx in range(n):
+                if rates_row[idx] > 0.0:
+                    if first < 0:
+                        first = idx
+                    last = idx
+            if first < 0:
+                total = 0.0
+                for j in range(nb):
+                    block_sums_row[j] = 0.0
+                continue
+            new_id = first if new_id >= n else last
+
+        old = rates_row[new_id]
+        total -= old
+        block_sums_row[new_id // block] -= old
+        rates_row[new_id] = 0.0
+        informed_row[new_id] = True
+        informed_time_row[new_id] = tau
+        remaining -= 1
+        for k in range(indptr[new_id], indptr[new_id + 1]):
+            neighbour = indices[k]
+            if not informed_row[neighbour] and not down[neighbour]:
+                extra = delivery * (
+                    a * inverse_degrees[new_id] + b * inverse_degrees[neighbour]
+                )
+                rates_row[neighbour] += extra
+                block_sums_row[neighbour // block] += extra
+                total += extra
+
+        since += 1
+        if since >= refresh_interval:
+            running = 0.0
+            for j in range(nb):
+                partial = 0.0
+                start = j * block
+                for i in range(block):
+                    partial += rates_row[start + i]
+                block_sums_row[j] = partial
+                running += partial
+            total = running
+            since = 0
+
+    fstate[0] = tau
+    fstate[1] = total
+    istate[0] = remaining
+    istate[1] = since
+
+
+def _batched_rebuild(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    inverse_degrees: np.ndarray,
+    informed: np.ndarray,
+    down: np.ndarray,
+    a: float,
+    b: float,
+    delivery: float,
+    out: np.ndarray,
+):
+    """Rebuild every trial's informing-rate row after a crash boundary.
+
+    The compiled analogue of ``BatchedRumorSpreading._batch_rates``:
+    bit-identical because both accumulate each row's contributions in CSR
+    entry order (``np.add.reduceat`` is a sequential left-to-right reduction,
+    and its extra ``+ 0.0`` terms for non-crossing entries are exact no-ops),
+    and both apply the delivery factor as a single multiply per entry.
+    """
+    trials = informed.shape[0]
+    n = indptr.shape[0] - 1
+    for t in range(trials):
+        for v in range(n):
+            if informed[t, v] or down[v]:
+                out[t, v] = 0.0
+                continue
+            acc = 0.0
+            for k in range(indptr[v], indptr[v + 1]):
+                u = indices[k]
+                if informed[t, u] and not down[u]:
+                    acc += (a * inverse_degrees[u] + b * inverse_degrees[v]) * delivery
+            out[t, v] = acc
+
+
+def batched_segment_fallback(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    inverse_degrees: np.ndarray,
+    degrees: np.ndarray,
+    rates: np.ndarray,
+    block_sums: np.ndarray,
+    totals: np.ndarray,
+    informed: np.ndarray,
+    down: np.ndarray,
+    informed_time: np.ndarray,
+    tau: np.ndarray,
+    remaining: np.ndarray,
+    since_refresh: np.ndarray,
+    exponentials: np.ndarray,
+    uniforms: np.ndarray,
+    seg_end: float,
+    a: float,
+    b: float,
+    delivery: float,
+    block: int,
+    nb: int,
+    n: int,
+    refresh_interval: int,
+) -> None:
+    """Pure-numpy lockstep twin of :func:`_batched_trial_segment`.
+
+    Advances every active trial one event per pass over the stacked
+    ``(trials, ·)`` state, consuming ``exponentials[t, ·]`` / ``uniforms[t, ·]``
+    at per-trial cursors so the draw sequence each trial sees is exactly the
+    scalar kernel's.  Every accumulation that touches a single trial's float
+    state is sequential and in the same order as the scalar loop: cumsum-based
+    selection counts, ``np.add.at`` (not ``np.bincount`` + add, which would
+    reassociate) for total updates, and cumsum-take-last refresh sums.
+    """
+    T = rates.shape[0]
+    ke = np.zeros(T, dtype=np.int64)
+    ku = np.zeros(T, dtype=np.int64)
+    inner_cols = np.arange(block)
+    while True:
+        active = np.nonzero((remaining > 0) & (tau < seg_end))[0]
+        if active.size == 0:
+            return
+        act_totals = totals[active]
+        waits = np.where(
+            act_totals > KERNEL_RATE_EPSILON,
+            exponentials[active, ke[active]] / np.maximum(act_totals, KERNEL_RATE_EPSILON),
+            np.inf,
+        )
+        ke[active] += 1
+        new_tau = tau[active] + waits
+        fires = new_tau < seg_end
+        tau[active] = np.where(fires, new_tau, seg_end)
+        firing = active[fires]
+        if firing.size == 0:
+            continue
+        event_time = new_tau[fires]
+
+        thresholds = uniforms[firing, ku[firing]] * totals[firing]
+        ku[firing] += 1
+        block_cum = np.cumsum(block_sums[firing], axis=1)
+        chosen_block = np.minimum(
+            (block_cum < thresholds[:, None]).sum(axis=1), nb - 1
+        )
+        rows = np.arange(firing.size)
+        prefix = block_cum[rows, chosen_block] - block_sums[firing, chosen_block]
+        inner = rates[firing[:, None], (chosen_block * block)[:, None] + inner_cols[None, :]]
+        inner_cum = np.cumsum(inner, axis=1)
+        offset = np.minimum(
+            (inner_cum < (thresholds - prefix)[:, None]).sum(axis=1), block - 1
+        )
+        new_ids = chosen_block * block + offset
+        bad = np.nonzero((new_ids >= n) | (rates[firing, new_ids] <= 0.0))[0]
+        for i in bad:
+            positive = np.nonzero(rates[firing[i], :n] > 0.0)[0]
+            if positive.size == 0:
+                totals[firing[i]] = 0.0
+                block_sums[firing[i]] = 0.0
+                new_ids[i] = -1
+                continue
+            new_ids[i] = positive[0] if new_ids[i] >= n else positive[-1]
+        if bad.size:
+            live = new_ids >= 0
+            if not live.all():
+                firing = firing[live]
+                new_ids = new_ids[live]
+                event_time = event_time[live]
+                if firing.size == 0:
+                    continue
+
+        old = rates[firing, new_ids]
+        totals[firing] -= old
+        np.subtract.at(block_sums, (firing, new_ids // block), old)
+        rates[firing, new_ids] = 0.0
+        informed[firing, new_ids] = True
+        informed_time[firing, new_ids] = event_time
+        remaining[firing] -= 1
+
+        counts = degrees[new_ids]
+        if counts.sum():
+            trial_rep = np.repeat(firing, counts)
+            source_rep = np.repeat(new_ids, counts)
+            shifts = np.repeat(np.cumsum(counts) - counts, counts)
+            gather = np.arange(counts.sum()) - shifts + np.repeat(indptr[new_ids], counts)
+            neighbour = indices[gather]
+            open_mask = ~informed[trial_rep, neighbour] & ~down[neighbour]
+            if open_mask.any():
+                trial_rep = trial_rep[open_mask]
+                neighbour = neighbour[open_mask]
+                source_rep = source_rep[open_mask]
+                extra = delivery * (a * inverse_degrees[source_rep] + b * inverse_degrees[neighbour])
+                # (trial, neighbour) pairs are unique within a pass — one
+                # informing node per trial, simple graph — so the
+                # fancy-indexed += is exact; block and trial ids can repeat.
+                rates[trial_rep, neighbour] += extra
+                np.add.at(block_sums, (trial_rep, neighbour // block), extra)
+                np.add.at(totals, trial_rep, extra)
+
+        since_refresh[firing] += 1
+        due = firing[since_refresh[firing] >= refresh_interval]
+        if due.size:
+            block_sums[due] = np.cumsum(rates[due].reshape(due.size, nb, block), axis=2)[:, :, -1]
+            totals[due] = np.cumsum(block_sums[due], axis=1)[:, -1]
+            since_refresh[due] = 0
+
+
 try:  # pragma: no cover - exercised only where numba is installed
     import numba
 
     HAVE_NUMBA = True
     #: The compiled segment kernel (falls back to the plain function below).
     boundary_segment = numba.njit(cache=True)(_boundary_segment)
+    #: Compiled per-trial batched race segment (scalar loop per trial).
+    batched_trial_segment = numba.njit(cache=True)(_batched_trial_segment)
+    #: Compiled crash-boundary rate rebuild over the whole batch.
+    batched_rebuild = numba.njit(cache=True)(_batched_rebuild)
 except ImportError:  # pragma: no cover - trivially the common path
     HAVE_NUMBA = False
     boundary_segment = _boundary_segment
+    batched_trial_segment = _batched_trial_segment
+    batched_rebuild = _batched_rebuild
 
-#: Always-interpreted reference implementation (for bit-identity tests).
+#: Always-interpreted reference implementations (for bit-identity tests).
 boundary_segment_reference = _boundary_segment
+batched_trial_segment_reference = _batched_trial_segment
+batched_rebuild_reference = _batched_rebuild
 
 
 __all__ = [
@@ -121,4 +445,9 @@ __all__ = [
     "KERNEL_RATE_EPSILON",
     "boundary_segment",
     "boundary_segment_reference",
+    "batched_trial_segment",
+    "batched_trial_segment_reference",
+    "batched_rebuild",
+    "batched_rebuild_reference",
+    "batched_segment_fallback",
 ]

@@ -59,6 +59,16 @@ class StaticDynamicNetwork(DynamicNetwork):
         return self.graph
 
     def _build_snapshot_step(self, t: int, informed: frozenset) -> CsrSnapshot:
+        return self.materialise()
+
+    def materialise(self) -> CsrSnapshot:
+        """Convert to CSR now (idempotent) and return the cached snapshot.
+
+        The cache is identity-keyed on this network object and survives
+        ``reset``, so converting once in a parent process before forking
+        means every worker inherits the adapter through copy-on-write
+        instead of re-deriving it per sub-batch.
+        """
         if self._snapshot is None:
             self._snapshot = CsrSnapshot.from_networkx(self._graph, nodes=self._nodes)
         return self._snapshot

@@ -1,0 +1,257 @@
+"""Bit-identity and exactness tests for the batched race kernels.
+
+Three contracts, each checked with exact float equality (no tolerances):
+
+* the scalar per-trial race kernel (the numba-compiled path, run here under
+  CPython by forcing ``HAVE_NUMBA``) and the numpy lockstep fallback produce
+  **bit-identical** trial results, across fault families and variants;
+* the crash-boundary rate rebuild kernel matches the engine's ``reduceat``
+  path entry for entry;
+* the batched first-passage solver matches a heap Dijkstra reference row by
+  row, including crash clips and horizon censoring, and is invariant to the
+  ordered-expansion fraction.
+
+Plus a distributional cross-check pitting the two independent general-graph
+strategies (``method="race"`` vs ``method="percolation"``) against each other.
+"""
+
+import math
+import statistics
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core import percolation
+from repro.core.batched import BatchedRumorSpreading
+from repro.core.faults import FaultModel
+from repro.core.percolation import (
+    entry_transmission_rates,
+    first_passage_times,
+    first_passage_times_reference,
+)
+from repro.core.variants import Variant
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.generators import clique, cycle, path, star
+
+
+def snapshot_of(graph, source=0):
+    network = StaticDynamicNetwork(graph)
+    network.reset(None)
+    return network.snapshot_for_step(0, {source})
+
+
+def race_trials(graph, trials, seed, max_time=None, **process_kwargs):
+    process = BatchedRumorSpreading(method="race", **process_kwargs)
+    return process.run_batch(
+        StaticDynamicNetwork(graph), trials, rng=seed, max_time=max_time
+    )
+
+
+SCENARIOS = [
+    ("plain_cycle", lambda: cycle(range(9)), {}, None),
+    ("star_push", lambda: star(0, range(1, 8)), {"variant": Variant.PUSH}, None),
+    ("drops", lambda: clique(range(8)), {"faults": FaultModel(drop_probability=0.3)}, None),
+    (
+        "initial_crash",
+        lambda: clique(range(7)),
+        {"faults": FaultModel(crashed_nodes=frozenset({2}))},
+        None,
+    ),
+    (
+        "scheduled_crashes",
+        lambda: clique(range(8)),
+        {"faults": FaultModel(crash_times={3: 0.4, 5: 1.1})},
+        None,
+    ),
+    (
+        "drops_and_crash",
+        lambda: path(range(10)),
+        {"faults": FaultModel(drop_probability=0.2, crash_times={4: 1.0})},
+        6.0,
+    ),
+    ("censored", lambda: path(range(16)), {}, 1.5),
+    (
+        "disconnected_stall",
+        lambda: nx.union(path(range(4)), path(range(4, 7))),
+        {},
+        4.0,
+    ),
+]
+
+
+class TestRaceKernelBitIdentity:
+    """Scalar per-trial kernel == numpy lockstep, trial for trial, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "name,graph_factory,process_kwargs,max_time",
+        SCENARIOS,
+        ids=[s[0] for s in SCENARIOS],
+    )
+    def test_scalar_and_lockstep_paths_match_exactly(
+        self, monkeypatch, name, graph_factory, process_kwargs, max_time
+    ):
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", True)
+        scalar = race_trials(graph_factory(), 12, 42, max_time, **process_kwargs)
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", False)
+        lockstep = race_trials(graph_factory(), 12, 42, max_time, **process_kwargs)
+        for res_s, res_l in zip(scalar, lockstep):
+            assert res_s.informed_times == res_l.informed_times
+            assert res_s.spread_time == res_l.spread_time
+            assert res_s.completed == res_l.completed
+            assert res_s.steps_used == res_l.steps_used
+
+    def test_kernel_wiring_without_numba(self):
+        if kernels.HAVE_NUMBA:
+            pytest.skip("numba installed: compiled objects replace the plain functions")
+        assert kernels.batched_trial_segment is kernels.batched_trial_segment_reference
+        assert kernels.batched_rebuild is kernels.batched_rebuild_reference
+
+
+class TestRebuildKernelIdentity:
+    """The crash-boundary rebuild kernel equals the reduceat rebuild exactly."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [clique(range(9)), cycle(range(11)), star(0, range(1, 8)), path(range(6))],
+        ids=["clique", "cycle", "star", "path"],
+    )
+    @pytest.mark.parametrize("delivery", [1.0, 0.55], ids=["lossless", "drops"])
+    def test_matches_reduceat_rebuild(self, graph, delivery):
+        snapshot = snapshot_of(graph)
+        n = snapshot.n
+        gen = np.random.default_rng(7)
+        trials = 5
+        informed = gen.random((trials, n)) < 0.4
+        informed[:, 0] = True  # a source is always informed
+        down = gen.random(n) < 0.2
+
+        drop = 1.0 - delivery
+        process = BatchedRumorSpreading(faults=FaultModel(drop_probability=drop))
+        expected = process._batch_rates(snapshot, informed, down)
+
+        out = np.empty((trials, n))
+        a, b = process.variant.rate_coefficients()
+        kernels.batched_rebuild_reference(
+            snapshot.indptr,
+            snapshot.indices,
+            snapshot.inverse_degrees,
+            informed,
+            down,
+            a,
+            b,
+            delivery,
+            out,
+        )
+        assert np.array_equal(expected, out)
+
+
+def random_snapshot_and_delays(seed, n=40, p=0.12, trials=4):
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    graph.add_nodes_from(range(n))  # keep isolated nodes (inf rows)
+    snapshot = snapshot_of(graph)
+    gen = np.random.default_rng(seed + 1)
+    m = int(snapshot.indices.size)
+    delays = gen.standard_exponential((trials, m))
+    delays /= entry_transmission_rates(snapshot, 1.0, 1.0, 1.0)[None, :]
+    return snapshot, delays, gen
+
+
+class TestFirstPassageExactness:
+    """The vectorised frontier solver is bit-identical to heap Dijkstra."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 91])
+    def test_matches_dijkstra_reference(self, seed):
+        snapshot, delays, _ = random_snapshot_and_delays(seed)
+        times = first_passage_times(
+            snapshot.indptr, snapshot.indices, snapshot.degrees, delays, 0
+        )
+        for t in range(delays.shape[0]):
+            reference = first_passage_times_reference(
+                snapshot.indptr, snapshot.indices, delays[t], 0
+            )
+            assert np.array_equal(times[t], reference)
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_matches_reference_with_clip_and_limit(self, seed):
+        snapshot, delays, gen = random_snapshot_and_delays(seed)
+        theta = np.where(gen.random(snapshot.n) < 0.3, gen.random(snapshot.n) * 3.0, np.inf)
+        clip = np.minimum(theta[snapshot.row_owner], theta[snapshot.indices])
+        limit = 2.5
+        times = first_passage_times(
+            snapshot.indptr,
+            snapshot.indices,
+            snapshot.degrees,
+            delays,
+            0,
+            clip=clip,
+            limit=limit,
+        )
+        assert np.all(times[np.isfinite(times)] < limit)
+        for t in range(delays.shape[0]):
+            reference = first_passage_times_reference(
+                snapshot.indptr, snapshot.indices, delays[t], 0, clip=clip, limit=limit
+            )
+            assert np.array_equal(times[t], reference)
+
+    def test_result_invariant_to_expansion_order(self, monkeypatch):
+        # Any expansion schedule converges to the same fixed point bit for
+        # bit: every finite time is the same left-associated delay sum.
+        snapshot, delays, _ = random_snapshot_and_delays(29)
+        baseline = first_passage_times(
+            snapshot.indptr, snapshot.indices, snapshot.degrees, delays, 0
+        )
+        for fraction in (1.0, 0.5, 0.05):
+            monkeypatch.setattr(percolation, "EXPAND_FRACTION", fraction)
+            monkeypatch.setattr(percolation, "ORDERED_EXPANSION_MIN", 0)
+            again = first_passage_times(
+                snapshot.indptr, snapshot.indices, snapshot.degrees, delays, 0
+            )
+            assert np.array_equal(baseline, again)
+
+    def test_zero_horizon_informs_only_the_source(self):
+        snapshot, delays, _ = random_snapshot_and_delays(11)
+        times = first_passage_times(
+            snapshot.indptr, snapshot.indices, snapshot.degrees, delays, 0, limit=0.0
+        )
+        assert np.all(times[:, 0] == 0.0)
+        assert np.all(np.isinf(times[:, 1:]))
+
+
+class TestRaceVersusPercolation:
+    """The two independent general-graph strategies agree in distribution."""
+
+    @staticmethod
+    def spread_times(graph, trials, seed, method, **process_kwargs):
+        process = BatchedRumorSpreading(method=method, **process_kwargs)
+        results = process.run_batch(StaticDynamicNetwork(graph), trials, rng=seed)
+        return [r.spread_time for r in results]
+
+    @pytest.mark.parametrize(
+        "name,graph_factory,process_kwargs",
+        [
+            ("cycle", lambda: cycle(range(9)), {}),
+            ("drops", lambda: clique(range(8)), {"faults": FaultModel(drop_probability=0.3)}),
+            (
+                "scheduled_crash",
+                lambda: clique(range(8)),
+                {"faults": FaultModel(crash_times={3: 0.75})},
+            ),
+        ],
+        ids=["cycle", "drops", "scheduled_crash"],
+    )
+    def test_methods_agree_in_distribution(self, name, graph_factory, process_kwargs):
+        trials = 150
+        race = self.spread_times(graph_factory(), trials, 100, "race", **process_kwargs)
+        perc = self.spread_times(
+            graph_factory(), trials, 200, "percolation", **process_kwargs
+        )
+        mean_r, std_r = statistics.fmean(race), statistics.stdev(race)
+        mean_p, std_p = statistics.fmean(perc), statistics.stdev(perc)
+        standard_error = math.sqrt(std_r**2 / trials + std_p**2 / trials)
+        assert abs(mean_r - mean_p) < 5 * standard_error + 0.05
+
+    def test_method_validation(self):
+        with pytest.raises(ValueError, match="method"):
+            BatchedRumorSpreading(method="magic")

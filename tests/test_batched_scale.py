@@ -1,0 +1,148 @@
+"""Large-scale and sharded-execution contracts of the batched engine.
+
+Three contracts the perf work must not bend:
+
+* at n=10⁴ on G(n, p) — the scale the batch gap was closed at — the batched
+  engine still matches the boundary engine *in distribution*, with drop and
+  crash faults active simultaneously (z-test on the mean plus a two-sample
+  KS bound, as in ``tests/test_batched_engine.py``);
+* sharding the trial axis over workers is invisible: ``workers=4`` returns
+  bit-identical results to ``workers=1`` (the per-trial spawned-generator
+  contract of ``BatchedRumorSpreading.run_batch``);
+* the CSR conversion of a static networkx-backed network happens exactly
+  once per network object, across repeated batches and across the
+  parent-side prewarm that feeds forked workers.
+"""
+
+import math
+import statistics
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api._exec import execute_batched
+from repro.core.asynchronous import AsynchronousRumorSpreading
+from repro.core.batched import BatchedRumorSpreading
+from repro.core.faults import FaultModel
+from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.graphs.csr import CsrSnapshot
+from repro.graphs.generators import erdos_renyi_csr
+
+
+def ks_statistic(a, b):
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+class TestLargeScaleAgreement:
+    def test_batched_matches_boundary_on_er_1e4_with_drop_and_crash(self):
+        # The exact workload class of the gated benchmark, with both fault
+        # families active: drops scale every rate, the scheduled crash clips
+        # percolation entries (and excuses the node from completion).  The
+        # boundary side is the expensive one (~0.5 s/trial), so it gets a
+        # small sample and the batched side a large one; the two-sample
+        # criteria below account for the unequal sizes.
+        network = StaticDynamicNetwork(erdos_renyi_csr(10_000, 0.00184, rng=7))
+        faults = FaultModel(drop_probability=0.2, crash_times={3: 1.0})
+
+        boundary_trials, batched_trials = 16, 128
+        boundary_process = AsynchronousRumorSpreading(engine="boundary", faults=faults)
+        boundary = [
+            boundary_process.run(network, rng=50_000 + s).spread_time
+            for s in range(boundary_trials)
+        ]
+        batched_process = BatchedRumorSpreading(faults=faults)
+        batched = [
+            r.spread_time
+            for r in batched_process.run_batch(network, batched_trials, rng=321)
+        ]
+        assert all(math.isfinite(t) for t in boundary + batched)
+
+        mean_a, std_a = statistics.fmean(boundary), statistics.stdev(boundary)
+        mean_b, std_b = statistics.fmean(batched), statistics.stdev(batched)
+        standard_error = math.sqrt(
+            std_a**2 / boundary_trials + std_b**2 / batched_trials
+        )
+        assert abs(mean_a - mean_b) < 5 * standard_error + 0.05
+        # KS 1% critical value for unequal samples: 1.628·sqrt((n+m)/(n·m)).
+        sizes = (boundary_trials, batched_trials)
+        critical = 1.628 * math.sqrt(sum(sizes) / (sizes[0] * sizes[1]))
+        assert ks_statistic(boundary, batched) < critical
+
+
+class TestShardedExecution:
+    @staticmethod
+    def network():
+        return StaticDynamicNetwork(erdos_renyi_csr(400, 0.02, rng=3))
+
+    def test_workers_do_not_change_results(self):
+        process = BatchedRumorSpreading()
+        times_1, kept_1, n_1 = execute_batched(
+            process, self.network(), 8, rng=9, workers=1, keep_results=True
+        )
+        times_4, kept_4, n_4 = execute_batched(
+            process, self.network(), 8, rng=9, workers=4, keep_results=True
+        )
+        assert times_1 == times_4
+        assert n_1 == n_4 == 400
+        for res_1, res_4 in zip(kept_1, kept_4):
+            assert res_1.informed_times == res_4.informed_times
+            assert res_1.completed == res_4.completed
+
+    @pytest.mark.parametrize("workers", [2, 3, 8])
+    def test_any_worker_count_matches_unsharded(self, workers):
+        process = BatchedRumorSpreading()
+        baseline, _, _ = execute_batched(process, self.network(), 7, rng=4, workers=1)
+        sharded, _, _ = execute_batched(
+            process, self.network(), 7, rng=4, workers=workers
+        )
+        assert baseline == sharded
+
+    def test_api_builder_sharding_is_invisible(self):
+        def spread_times(workers):
+            return (
+                api.run(network=self.network(), engine="batched", seed=9)
+                .trials(8)
+                .workers(workers)
+                .collect()
+                .spread_times
+            )
+
+        assert np.array_equal(spread_times(1), spread_times(4))
+
+    def test_more_workers_than_trials(self):
+        process = BatchedRumorSpreading()
+        baseline, _, _ = execute_batched(process, self.network(), 3, rng=6, workers=1)
+        sharded, _, _ = execute_batched(process, self.network(), 3, rng=6, workers=8)
+        assert baseline == sharded
+
+
+class TestSnapshotMemoisation:
+    def test_csr_conversion_happens_once_per_network(self, monkeypatch):
+        conversions = []
+        original = CsrSnapshot.from_networkx.__func__
+
+        def counting(cls, graph, nodes=None, cache_graph=True):
+            conversions.append(1)
+            return original(cls, graph, nodes=nodes, cache_graph=cache_graph)
+
+        monkeypatch.setattr(CsrSnapshot, "from_networkx", classmethod(counting))
+        network = StaticDynamicNetwork(
+            nx.gnp_random_graph(60, 0.1, seed=3), precompute_metrics=False
+        )
+        process = BatchedRumorSpreading()
+
+        execute_batched(process, network, 6, rng=5, workers=1)
+        assert len(conversions) == 1
+        # Repeated batches, and a sharded batch (the parent-side prewarm),
+        # reuse the identity-keyed cache — reset() does not clear it.
+        execute_batched(process, network, 6, rng=5, workers=4)
+        execute_batched(process, network, 6, rng=5, workers=1)
+        assert len(conversions) == 1
+        assert network._snapshot is not None

@@ -97,3 +97,47 @@ class TestBenchDelta:
         )
         assert code == 1
         assert "regressed" in capsys.readouterr().err
+
+
+class TestBenchDeltaJson:
+    def test_json_document_matches_table(self, files, tmp_path):
+        baseline, current = files
+        out_path = tmp_path / "delta.json"
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "hot",
+             "--threshold", "60", "--json", str(out_path)]
+        )
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert document["ok"] is True
+        assert document["failures"] == []
+        assert document["threshold_pct"] == 60.0
+        hot = document["benchmarks"]["hot"]
+        assert hot["baseline_s"] == pytest.approx(0.100)
+        assert hot["current_s"] == pytest.approx(0.150)
+        assert hot["delta_pct"] == pytest.approx(50.0)
+        assert hot["gated"] is True
+        assert document["benchmarks"]["cold"]["gated"] is False
+
+    def test_json_records_failures_and_one_sided_names(self, tmp_path):
+        baseline = _write(tmp_path / "baseline.json", {"hot": 0.100, "gone": 1.0})
+        current = _write(tmp_path / "current.json", {"hot": 0.200, "fresh": 2.0})
+        out_path = tmp_path / "delta.json"
+        code = bench_delta.main(
+            ["bench_delta.py", baseline, current, "--gate", "hot",
+             "--json", str(out_path)]
+        )
+        assert code == 1
+        document = json.loads(out_path.read_text())
+        assert document["ok"] is False
+        assert len(document["failures"]) == 1 and "hot" in document["failures"][0]
+        assert document["only_in_baseline"] == ["gone"]
+        assert document["only_in_current"] == ["fresh"]
+
+    def test_json_to_stdout(self, files, capsys):
+        baseline, current = files
+        code = bench_delta.main(["bench_delta.py", baseline, current, "--json", "-"])
+        assert code == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[out.index("{"):])
+        assert set(document["benchmarks"]) == {"hot", "cold"}

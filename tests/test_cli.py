@@ -237,6 +237,57 @@ class TestJsonOutput:
         assert "cumulative" in err
         assert "function calls" in err
 
+    @pytest.mark.parametrize(
+        "engine,resolved",
+        [("batched", "batched"), ("jit", "jit"), ("boundary", "boundary"),
+         ("auto", "batched")],  # auto on a static family takes the batched path
+    )
+    def test_simulate_profile_names_resolved_engine(self, capsys, engine, resolved):
+        buffer = io.StringIO()
+        code = main(
+            ["simulate", "--network", "clique", "--n", "16", "--trials", "2",
+             "--engine", engine, "--profile"],
+            out=buffer,
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert f"profiled engine: {resolved}" in err
+        # The engine line must come before the stats table it annotates.
+        assert err.index("profiled engine:") < err.index("cumulative")
+
+    def test_simulate_profile_engine_line_on_failed_run(self, capsys):
+        # engine='batched' on a dynamic network fails at run time, but the
+        # profile footer still names the engine whose path was profiled.
+        buffer = io.StringIO()
+        code = main(
+            ["simulate", "--network", "edge-markovian", "--n", "12",
+             "--birth", "0.4", "--death", "0.2", "--trials", "2",
+             "--engine", "batched", "--profile"],
+            out=buffer,
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "profiled engine: batched" in err
+
+    def test_simulate_profile_engine_line_on_invalid_combination(self, capsys):
+        # A spec that fails validation outright must still print the footer,
+        # with a placeholder, instead of raising a second error from the
+        # resolution probe.  main() pre-rejects sync+variant before the
+        # profiler starts, so drive the command handler directly.
+        from repro import cli as cli_module
+
+        args = build_parser().parse_args(
+            ["simulate", "--network", "clique", "--n", "12", "--trials", "2",
+             "--profile"]
+        )
+        args.algorithm = "sync"
+        args.variant = "push"
+        buffer = io.StringIO()
+        code = cli_module._command_simulate(args, buffer)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "profiled engine: unresolved (invalid configuration)" in err
+
     def test_experiment_json_schema(self):
         buffer = io.StringIO()
         code = main(["experiment", "E8", "--json", "--no-cache"], out=buffer)
