@@ -40,21 +40,31 @@ from repro.api.builder import (
 )
 from repro.api.observers import CIWidthRule, EventLog, ObserverChain, RunObserver
 from repro.api.results import RunResult, SweepFrame, TrialSet
-from repro.api.sinks import LocalDirSink, MemorySink, NullSink, ResultSink
+from repro.api.sinks import (
+    LocalDirSink,
+    MemorySink,
+    NullSink,
+    ResultSink,
+    payload_checksum,
+)
 from repro.checks import Check, CheckReport, CheckResult, evaluate_checks
+from repro.execution import ChaosMonkey, ExecutionReport, RetryPolicy
 
 __all__ = [
     "CIWidthRule",
+    "ChaosMonkey",
     "Check",
     "CheckReport",
     "CheckResult",
     "EventLog",
+    "ExecutionReport",
     "LocalDirSink",
     "MemorySink",
     "NetworkLike",
     "NullSink",
     "ObserverChain",
     "ResultSink",
+    "RetryPolicy",
     "RunBuilder",
     "RunObserver",
     "RunResult",
@@ -63,6 +73,7 @@ __all__ = [
     "TrialSet",
     "bind_point",
     "evaluate_checks",
+    "payload_checksum",
     "run",
     "sweep_scenario",
 ]

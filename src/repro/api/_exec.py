@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.core.state import SpreadResult
 from repro.dynamics.sequences import StaticDynamicNetwork
+from repro.execution.policy import RetryPolicy
+from repro.execution.report import ExecutionReport
 from repro.utils.parallel import fork_map
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import require, require_node_count
@@ -51,19 +53,24 @@ def _run_batch(
     source: Optional[Hashable],
     workers: int,
     run_kwargs: Dict,
+    policy: Optional[RetryPolicy] = None,
+    report: Optional[ExecutionReport] = None,
 ) -> Optional[List[SpreadResult]]:
     """Fan one batch of trials over a process pool; ``None`` without fork.
 
     The closure (runner, factory, generators) reaches the workers through the
     inherited memory of :func:`repro.utils.parallel.fork_map`, so arbitrary
-    lambdas and bound methods work without being picklable.
+    lambdas and bound methods work without being picklable.  Trials are pure
+    functions of their spawned generator, so an optional supervised
+    ``policy`` can retry a killed or failed trial bit-identically.
     """
 
     def one_trial(index: int) -> SpreadResult:
         network = factory()
         return runner(network, source=source, rng=generators[index], **run_kwargs)
 
-    return fork_map(one_trial, range(len(generators)), workers)
+    return fork_map(one_trial, range(len(generators)), workers,
+                    policy=policy, report=report)
 
 
 def execute_trials(
@@ -77,6 +84,8 @@ def execute_trials(
     observer=None,
     stop_rule=None,
     keep_results: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    report: Optional[ExecutionReport] = None,
 ) -> Tuple[List[float], List[SpreadResult], Optional[int]]:
     """Run up to ``trials`` independent trials and return their outcomes.
 
@@ -115,7 +124,8 @@ def execute_trials(
 
     if stop_rule is None and workers > 1 and trials > 1:
         # Non-adaptive parallel fast path: one fan-out over every trial.
-        results = _run_batch(runner, factory, generators, source, workers, run_kwargs)
+        results = _run_batch(runner, factory, generators, source, workers, run_kwargs,
+                             policy=policy, report=report)
         if results is not None:
             for index, result in enumerate(results):
                 consume(index, result)
@@ -135,7 +145,8 @@ def execute_trials(
     while index < trials:
         if stop_rule is not None and workers > 1:
             batch = generators[index : index + batch_size]
-            results = _run_batch(runner, factory, batch, source, workers, run_kwargs)
+            results = _run_batch(runner, factory, batch, source, workers, run_kwargs,
+                                 policy=policy, report=report)
             if results is not None:
                 for result in results:
                     consume(index, result)
@@ -163,6 +174,8 @@ def execute_batched(
     max_time: Optional[float] = None,
     keep_results: bool = False,
     workers: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    report: Optional[ExecutionReport] = None,
 ) -> Tuple[List[float], List[SpreadResult], Optional[int]]:
     """Run ``trials`` trials through a batch-capable process in one call.
 
@@ -205,7 +218,7 @@ def execute_batched(
                 generators=generators[lo:hi],
             )
 
-        sharded = fork_map(one_shard, spans, workers)
+        sharded = fork_map(one_shard, spans, workers, policy=policy, report=report)
         if sharded is not None:
             results = [result for shard in sharded for result in shard]
     if results is None:

@@ -53,6 +53,8 @@ from repro.core.faults import FaultModel, fault_model_from_data
 from repro.core.synchronous import SynchronousRumorSpreading
 from repro.core.variants import Variant
 from repro.dynamics.base import DynamicNetwork
+from repro.execution.policy import RetryPolicy
+from repro.execution.report import ExecutionReport
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.validation import require
 
@@ -93,6 +95,8 @@ class RunSpec:
     workers: int = 1
     observers: Tuple[RunObserver, ...] = ()
     keep_results: bool = False
+    #: Optional supervised retry/timeout policy for parallel trial fan-outs.
+    retry: Optional[RetryPolicy] = field(repr=False, default=None)
     #: Internal: raw runner override used by the legacy shims.
     runner: Optional[Callable] = field(repr=False, default=None)
     #: Internal: extra keyword arguments forwarded verbatim to the runner.
@@ -317,6 +321,21 @@ class RunBuilder:
         """Retain full :class:`SpreadResult` objects on the trial set."""
         return self._replace(keep_results=keep)
 
+    def retry(self, policy: Optional[RetryPolicy] = None, **fields) -> "RunBuilder":
+        """Supervise parallel trial fan-outs with a retry/timeout policy.
+
+        ``.retry(max_attempts=3, timeout=30.0)`` builds the corresponding
+        :class:`repro.execution.RetryPolicy`; pass a policy instance to reuse
+        one.  Trials are pure functions of their spawned generators, so
+        retried trials return bit-identical spread times.  The resulting
+        :class:`TrialSet` carries an :class:`repro.execution.ExecutionReport`
+        on ``.execution`` recording any recovery actions.
+        """
+        require(policy is None or not fields, "pass a RetryPolicy or fields, not both")
+        if policy is None:
+            policy = RetryPolicy(**fields)
+        return self._replace(retry=policy)
+
     def _with_runner(self, runner: Callable) -> "RunBuilder":
         """Internal: bypass process resolution (legacy shim support)."""
         return self._replace(runner=runner)
@@ -428,7 +447,7 @@ class RunBuilder:
         spec = self._spec
         return spec.max_trials if spec.until_ci_width is not None else spec.trials
 
-    def _execute(self, factory, rng, source, observer, stop_rule):
+    def _execute(self, factory, rng, source, observer, stop_rule, report=None):
         """Run one point's trials: the batched fast path or the trial loop.
 
         ``engine="batched"`` demands the vectorised path (raising when the
@@ -462,6 +481,8 @@ class RunBuilder:
                     max_time=spec.max_time,
                     keep_results=spec.keep_results,
                     workers=spec.workers,
+                    policy=spec.retry,
+                    report=report,
                 )
         return execute_trials(
             runner=self._runner(),
@@ -474,6 +495,8 @@ class RunBuilder:
             observer=observer,
             stop_rule=stop_rule,
             keep_results=spec.keep_results,
+            policy=spec.retry,
+            report=report,
         )
 
     # -- terminals ---------------------------------------------------------
@@ -504,10 +527,15 @@ class RunBuilder:
         """Run the configured trials and return their :class:`TrialSet`."""
         spec = self._spec
         spec.validate()
+        report = ExecutionReport() if spec.retry is not None else None
         times, kept, n = self._execute(
-            self._factory(), spec.seed, spec.source, self._observer(), self._stop_rule()
+            self._factory(), spec.seed, spec.source, self._observer(), self._stop_rule(),
+            report=report,
         )
-        return TrialSet(spec=spec, spread_times=times, results=tuple(kept), nodes=n or 0)
+        return TrialSet(
+            spec=spec, spread_times=times, results=tuple(kept), nodes=n or 0,
+            execution=report,
+        )
 
     def sweep(
         self,
@@ -538,14 +566,18 @@ class RunBuilder:
             source = spec.source
             if source_for is not None:
                 source = source_for(value, factory())
-            times, kept, n = self._execute(factory, point_rng, source, observer, stop_rule)
+            report = ExecutionReport() if spec.retry is not None else None
+            times, kept, n = self._execute(
+                factory, point_rng, source, observer, stop_rule, report=report
+            )
             point_spec = spec
             if isinstance(spec.network, str):
                 point_spec = dataclasses.replace(
                     spec, params={**dict(spec.params), name: value}
                 )
             point = TrialSet(
-                spec=point_spec, spread_times=times, results=tuple(kept), nodes=n or 0
+                spec=point_spec, spread_times=times, results=tuple(kept), nodes=n or 0,
+                execution=report,
             )
             points.append(point)
             extras.append(dict(extras_for(value, point.summary())) if extras_for else {})

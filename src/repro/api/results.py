@@ -12,11 +12,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.state import SpreadResult
+from repro.execution.report import ExecutionReport
 from repro.utils.validation import require
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (builder imports us)
@@ -105,6 +106,8 @@ class TrialSet:
     spread_times: np.ndarray
     results: Tuple[SpreadResult, ...] = ()
     nodes: int = 0
+    #: Recovery accounting from a supervised (``.retry(...)``) fan-out.
+    execution: Optional[ExecutionReport] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         times = np.asarray(self.spread_times, dtype=np.float64)
@@ -169,6 +172,10 @@ class TrialSet:
         if self.spec.algorithm == "async":
             document["variant"] = self.spec.variant
             document["engine"] = self.spec.engine
+        if self.execution is not None and not self.execution.clean:
+            # Only non-clean runs grow the key, so fault-free documents stay
+            # byte-identical to the historical schema.
+            document["execution"] = self.execution.as_dict()
         return document
 
 

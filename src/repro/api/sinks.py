@@ -6,28 +6,48 @@ content-addressed keys make that store a clean interface instead.  A
 
 * ``load(key, spec)`` returns the stored payload, or ``None`` on a miss —
   including when something *is* stored under ``key`` but its recorded spec
-  differs (hash collision or stale format);
+  differs (hash collision or stale format), or when the stored payload fails
+  its sha256 checksum (silent bit-rot);
 * ``store(key, spec, kind, payload)`` persists a freshly computed payload.
 
 Built-in sinks: :class:`LocalDirSink` (one JSON file per key in a directory —
-the pipeline's historical cache, byte-for-byte), :class:`MemorySink` (a dict,
-for tests and composition) and :class:`NullSink` (never stores anything).
-A shared artifact store for cross-machine reuse (see ROADMAP) is another
-``ResultSink`` implementation away.
+the pipeline's historical cache, plus a ``checksum`` field), :class:`MemorySink`
+(a dict, for tests and composition) and :class:`NullSink` (never stores
+anything).  A shared artifact store for cross-machine reuse (see ROADMAP) is
+another ``ResultSink`` implementation away.
+
+Checksum format: ``"sha256:<hex>"`` over the canonical JSON encoding of the
+payload (``json.dumps(payload, sort_keys=True, allow_nan=True)``).  Artifacts
+written before the checksum existed load fine (no field, nothing to verify);
+a *mismatching* checksum reads as a miss, emits a warning and increments the
+sink's ``corruption_detected`` counter so the pipeline's
+:class:`repro.execution.ExecutionReport` can surface it.
 """
 
 from __future__ import annotations
 
+import copy
 import json
+import hashlib
 import os
 import tempfile
+import warnings
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """``"sha256:<hex>"`` over the canonical JSON encoding of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, allow_nan=True)
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 class ResultSink(ABC):
     """Abstract payload store keyed by content hash + canonical spec."""
+
+    #: Artifacts rejected because their stored checksum did not verify.
+    corruption_detected: int = 0
 
     @abstractmethod
     def load(self, key: str, spec: Dict[str, Any]) -> Optional[Dict[str, Any]]:
@@ -49,10 +69,16 @@ class NullSink(ResultSink):
 
 
 class MemorySink(ResultSink):
-    """An in-process dict-backed sink (tests, composition, future tiering)."""
+    """An in-process dict-backed sink (tests, composition, future tiering).
+
+    Payloads are deep-copied on both store and load so callers mutating a
+    payload dict — before or after the sink sees it — can never corrupt what
+    later loads observe.
+    """
 
     def __init__(self):
         self._artifacts: Dict[str, Dict[str, Any]] = {}
+        self.corruption_detected = 0
 
     def __len__(self) -> int:
         return len(self._artifacts)
@@ -61,24 +87,44 @@ class MemorySink(ResultSink):
         artifact = self._artifacts.get(key)
         if artifact is None or artifact.get("spec") != spec:
             return None
-        return artifact.get("payload")
+        payload = artifact.get("payload")
+        recorded = artifact.get("checksum")
+        if recorded is not None and recorded != payload_checksum(payload):
+            self.corruption_detected += 1
+            warnings.warn(
+                f"artifact {key} failed checksum verification; treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return copy.deepcopy(payload)
 
     def store(self, key, spec, kind, payload):
-        self._artifacts[key] = {"key": key, "kind": kind, "spec": spec, "payload": payload}
+        payload = copy.deepcopy(payload)
+        self._artifacts[key] = {
+            "key": key,
+            "kind": kind,
+            "spec": copy.deepcopy(spec),
+            "payload": payload,
+            "checksum": payload_checksum(payload),
+        }
 
 
 class LocalDirSink(ResultSink):
     """One JSON artifact per key in a local directory.
 
-    The artifact format is exactly the pipeline's historical cache format
-    (``{"key", "kind", "spec", "payload"}``, sorted keys), so existing cache
-    directories keep working.  Writes go through write-then-rename so
-    concurrent runs never observe a torn artifact; unreadable or corrupt
-    artifacts read as misses and are recomputed.
+    The artifact format is the pipeline's historical cache format
+    (``{"key", "kind", "spec", "payload"}``, sorted keys) plus a
+    ``checksum`` field over the payload, so existing cache directories keep
+    working (legacy artifacts simply carry no checksum to verify).  Writes go
+    through write-then-rename so concurrent runs never observe a torn
+    artifact; unreadable, corrupt or checksum-mismatching artifacts read as
+    misses and are recomputed.
     """
 
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory)
+        self.corruption_detected = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -94,12 +140,28 @@ class LocalDirSink(ResultSink):
             return None  # unreadable/corrupt artifact: recompute
         if artifact.get("spec") != spec:
             return None  # hash collision or stale format: recompute
-        return artifact.get("payload")
+        payload = artifact.get("payload")
+        recorded = artifact.get("checksum")
+        if recorded is not None and recorded != payload_checksum(payload):
+            self.corruption_detected += 1
+            warnings.warn(
+                f"artifact {path} failed checksum verification; treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return payload
 
     def store(self, key, spec, kind, payload):
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        artifact = {"key": key, "kind": kind, "spec": spec, "payload": payload}
+        artifact = {
+            "key": key,
+            "kind": kind,
+            "spec": spec,
+            "payload": payload,
+            "checksum": payload_checksum(payload),
+        }
         # Write-then-rename so concurrent runs never observe a torn artifact.
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -112,4 +174,4 @@ class LocalDirSink(ResultSink):
             raise
 
 
-__all__ = ["LocalDirSink", "MemorySink", "NullSink", "ResultSink"]
+__all__ = ["LocalDirSink", "MemorySink", "NullSink", "ResultSink", "payload_checksum"]

@@ -38,16 +38,19 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro import api
 from repro.analysis.tables import format_table
 from repro.core.variants import Variant
+from repro.execution import chaos_from_env
 from repro.scenarios import (
     ExperimentPipeline,
     Scenario,
     default_cache_dir,
+    failed_points,
     get_network_family,
     network_families,
 )
@@ -98,6 +101,17 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--no-cache", action="store_true",
             help="disable the JSON artifact cache for this run",
+        )
+        sub.add_argument(
+            "--keep-going", action="store_true",
+            help="finish the run around failures instead of aborting on the "
+            "first one (failed units are reported and the exit code is "
+            "non-zero)",
+        )
+        sub.add_argument(
+            "--max-failures", type=int, default=None, metavar="N",
+            help="with --keep-going (implied), abort once more than N "
+            "failures accumulated",
         )
 
     experiment_parser = subparsers.add_parser(
@@ -227,13 +241,47 @@ def _dump_json(document: Any, out) -> None:
     print(file=out)
 
 
-def _make_pipeline(args: argparse.Namespace) -> ExperimentPipeline:
-    """Build the pipeline an experiment/report/scenarios command asked for."""
+def _failure_flags(args: argparse.Namespace) -> tuple:
+    """``(keep_going, max_failures)`` — ``--max-failures`` implies keep-going."""
+    max_failures = getattr(args, "max_failures", None)
+    keep_going = bool(getattr(args, "keep_going", False)) or max_failures is not None
+    return keep_going, max_failures
+
+
+def _make_pipeline(
+    args: argparse.Namespace, point_keep_going: bool = False
+) -> ExperimentPipeline:
+    """Build the pipeline an experiment/report/scenarios command asked for.
+
+    ``point_keep_going`` applies the ``--keep-going`` / ``--max-failures``
+    flags at point granularity (``scenarios run``); the experiment commands
+    instead keep the pipeline strict and catch failures per experiment, so a
+    broken experiment cannot leave half-interpreted points behind.
+    """
     if args.no_cache:
         cache_dir = None
     else:
         cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
-    return ExperimentPipeline(jobs=args.jobs, cache_dir=cache_dir)
+    keep_going, max_failures = _failure_flags(args) if point_keep_going else (False, None)
+    return ExperimentPipeline(
+        jobs=args.jobs, cache_dir=cache_dir,
+        keep_going=keep_going, max_failures=max_failures,
+    )
+
+
+def _emit_failure_table(rows: List[Dict[str, Any]], title: str) -> None:
+    """Print a per-failure table to stderr (and the CI step summary, if any)."""
+    if not rows:
+        return
+    table = format_table(rows, title=title)
+    print(table, file=sys.stderr)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        try:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(f"### {title}\n\n```\n{table}\n```\n\n")
+        except OSError:
+            pass  # the run itself must not fail on a summary write
 
 
 def _explicit_flags(argv: Sequence[str]) -> set:
@@ -289,19 +337,38 @@ def _command_list(out) -> int:
 
 def _command_experiment(args, out) -> int:
     from repro.experiments.registry import run_experiment
+    from repro.experiments.reporting import failed_placeholder
 
-    kwargs = {"scale": args.scale, "pipeline": _make_pipeline(args)}
+    keep_going, _max_failures = _failure_flags(args)
+    pipeline = _make_pipeline(args)
+    kwargs = {"scale": args.scale, "pipeline": pipeline}
     if args.seed is not None:
         kwargs["rng"] = args.seed
+    experiment_id = args.experiment_id.upper()
+    failure_rows: List[Dict[str, Any]] = []
     try:
-        result = run_experiment(args.experiment_id.upper(), **kwargs)
+        result = run_experiment(experiment_id, **kwargs)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except Exception as error:
+        if not keep_going:
+            raise
+        result = failed_placeholder(experiment_id, error)
+        failure_rows.append(
+            {
+                "experiment": experiment_id,
+                "status": "failed",
+                "error": f"{type(error).__name__}: {error}",
+            }
+        )
     if args.json:
-        _dump_json(result.as_dict(), out)
+        document = result.as_dict()
+        document["execution"] = pipeline.report.as_dict()
+        _dump_json(document, out)
     else:
         print(result.report(), file=out)
+    _emit_failure_table(failure_rows, f"{experiment_id}: failures")
     return 0 if result.passed in (True, None) else 1
 
 
@@ -387,13 +454,17 @@ def _command_report(args, out) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    keep_going, max_failures = _failure_flags(args)
+    failure_log: List[Dict[str, Any]] = []
     results = build_results(
-        scale=args.scale, experiment_ids=args.only, pipeline=_make_pipeline(args)
+        scale=args.scale, experiment_ids=args.only, pipeline=_make_pipeline(args),
+        keep_going=keep_going, max_failures=max_failures, failure_log=failure_log,
     )
     if args.json:
         _dump_json(results_as_dict(results), out)
     else:
         print(render_markdown(results), file=out)
+    _emit_failure_table(failure_log, "report: failed experiments")
     # Non-zero on any failed shape check so CI can gate on the exit code
     # instead of re-parsing the JSON document.
     return 0 if all_passed(results) else 1
@@ -414,13 +485,21 @@ def _command_verify(args, out) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    keep_going, max_failures = _failure_flags(args)
+    failure_log: List[Dict[str, Any]] = []
+    pipeline = _make_pipeline(args)
     results = build_results(
-        scale=args.scale, experiment_ids=args.only, pipeline=_make_pipeline(args)
+        scale=args.scale, experiment_ids=args.only, pipeline=pipeline,
+        keep_going=keep_going, max_failures=max_failures, failure_log=failure_log,
     )
     if args.json:
-        _dump_json(verification_as_dict(results, scale=args.scale), out)
+        _dump_json(
+            verification_as_dict(results, scale=args.scale, execution=pipeline.report),
+            out,
+        )
     else:
         print(render_verification(results), file=out)
+    _emit_failure_table(failure_log, "verify: failed experiments")
     return 0 if all_passed(results) else 1
 
 
@@ -512,9 +591,22 @@ def _command_scenarios_run(args, out) -> int:
     if not scenarios:
         print(f"error: {args.file}: no scenarios in file", file=sys.stderr)
         return 2
-    results = _make_pipeline(args).run(scenarios)
+    pipeline = _make_pipeline(args, point_keep_going=True)
+    results = pipeline.run(scenarios)
+    failures = failed_points(results)
+    failure_rows = [
+        {
+            "label": point.label,
+            "value": point.value,
+            "status": point.status,
+            "attempts": point.attempts,
+            "error": point.error or "-",
+        }
+        for point in failures
+    ]
     check_reports = _scenario_check_reports(scenarios, results)
     checks_passed = all(report.passed for report in check_reports.values())
+    run_ok = checks_passed and not failures
     point_documents = [
         {
             "label": point.label,
@@ -522,25 +614,29 @@ def _command_scenarios_run(args, out) -> int:
             "index": point.index,
             "key": point.key,
             "cached": point.cached,
+            "status": point.status,
+            "error": point.error,
+            "attempts": point.attempts,
             "payload": point.payload,
         }
         for point in results
     ]
     if args.json:
-        if check_reports:
-            _dump_json(
-                {
-                    "points": point_documents,
-                    "checks": {label: report.as_dict()
-                               for label, report in check_reports.items()},
-                    "all_passed": checks_passed,
-                },
-                out,
-            )
+        if check_reports or failures:
+            document: Dict[str, Any] = {"points": point_documents}
+            if check_reports:
+                document["checks"] = {label: report.as_dict()
+                                      for label, report in check_reports.items()}
+            if failures:
+                document["failures"] = failure_rows
+            document["all_passed"] = run_ok
+            document["execution"] = pipeline.report.as_dict()
+            _dump_json(document, out)
         else:
             # Historical schema: a bare list of points when nothing is checked.
             _dump_json(point_documents, out)
-        return 0 if checks_passed else 1
+        _emit_failure_table(failure_rows, "scenarios run: failed points")
+        return 0 if run_ok else 1
     rows = []
     for point in results:
         row = {
@@ -548,7 +644,9 @@ def _command_scenarios_run(args, out) -> int:
             point.scenario.sweep_name: point.value,
             "cached": point.cached,
         }
-        summary = point.payload.get("summary")
+        if failures:
+            row["status"] = point.status
+        summary = point.payload.get("summary") if point.payload else None
         if summary:
             row.update(
                 {key: summary[key] for key in ("trials", "mean", "whp", "completion_rate")}
@@ -572,7 +670,8 @@ def _command_scenarios_run(args, out) -> int:
             format_table(check_rows, title=f"checks for {label!r}: {passed} / {checked} passed"),
             file=out,
         )
-    return 0 if checks_passed else 1
+    _emit_failure_table(failure_rows, "scenarios run: failed points")
+    return 0 if run_ok else 1
 
 
 def _scenario_check_reports(scenarios: List[Scenario], results):
@@ -602,6 +701,13 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        # Validate any REPRO_CHAOS spec up front so a typo is a clean CLI
+        # error instead of a traceback from deep inside a pipeline build.
+        chaos_from_env()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.command == "list":
         return _command_list(out)
     if args.command == "experiment":

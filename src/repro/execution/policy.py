@@ -1,0 +1,88 @@
+"""Retry, timeout and backoff policy for the supervised executor.
+
+A :class:`RetryPolicy` is immutable plain data so it can ride configuration
+(and tests) without surprises.  Backoff is exponential with **deterministic
+jitter**: the jitter fraction is derived from ``(item index, attempt)``
+through a :class:`numpy.random.SeedSequence`, so two runs of the same
+workload schedule byte-identical retry delays — there is no hidden global
+randomness anywhere in the failure path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def deterministic_uniform(*entropy: int) -> float:
+    """A uniform in ``[0, 1)`` that is a pure function of ``entropy``."""
+    state = np.random.SeedSequence([int(value) & (2**63 - 1) for value in entropy])
+    return float(state.generate_state(1, dtype=np.uint64)[0]) / float(2**64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor retries, times out and backs off one work item.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per item (first try included).  ``1`` disables retry.
+    timeout:
+        Per-item wall-clock seconds, or ``None`` for no deadline.  Enforced
+        on the process-pool path (a stuck worker is reclaimed by respawning
+        the pool); the serial fallback cannot preempt a running item.
+    backoff_base / backoff_factor / backoff_max:
+        Delay before attempt ``k+1`` is ``base * factor**(k-1)``, clamped to
+        ``backoff_max`` seconds.
+    jitter:
+        Fractional jitter added on top of the clamped delay, derived
+        deterministically from ``(item index, attempt)``.
+    max_pool_respawns:
+        Broken-pool respawns tolerated before degrading to the in-process
+        serial fallback.
+    """
+
+    max_attempts: int = 3
+    timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    max_pool_respawns: int = 3
+
+    def __post_init__(self):
+        require(isinstance(self.max_attempts, int) and self.max_attempts >= 1,
+                f"max_attempts must be a positive integer, got {self.max_attempts!r}")
+        require(self.timeout is None or self.timeout > 0,
+                f"timeout must be positive (or None), got {self.timeout!r}")
+        require(self.backoff_base >= 0, "backoff_base must be non-negative")
+        require(self.backoff_factor >= 1, "backoff_factor must be >= 1")
+        require(self.backoff_max >= 0, "backoff_max must be non-negative")
+        require(0 <= self.jitter <= 1, "jitter must be a fraction in [0, 1]")
+        require(isinstance(self.max_pool_respawns, int) and self.max_pool_respawns >= 0,
+                f"max_pool_respawns must be a non-negative integer, got {self.max_pool_respawns!r}")
+
+    def backoff_delay(self, index: int, attempt: int) -> float:
+        """Seconds to wait before re-submitting ``index`` for ``attempt``.
+
+        Deterministic: exponential in the attempt number, with a jitter
+        fraction that is a pure function of ``(index, attempt)``.
+        """
+        base = min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** max(0, attempt - 2))
+        return base * (1.0 + self.jitter * deterministic_uniform(index, attempt))
+
+
+#: Policy used when callers do not configure one (resilient but finite).
+DEFAULT_POLICY = RetryPolicy()
+
+#: Policy reproducing the historical one-shot semantics (no retry at all).
+ONE_SHOT_POLICY = RetryPolicy(max_attempts=1, max_pool_respawns=0)
+
+
+__all__ = ["DEFAULT_POLICY", "ONE_SHOT_POLICY", "RetryPolicy", "deterministic_uniform"]

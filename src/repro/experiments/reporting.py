@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.execution.report import ExecutionReport
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.result import ExperimentResult
 from repro.scenarios import ExperimentPipeline
@@ -79,26 +80,86 @@ def render_markdown(results: Dict[str, ExperimentResult]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def failed_placeholder(
+    experiment_id: str, error: BaseException, aborted: bool = False
+) -> ExperimentResult:
+    """A stand-in :class:`ExperimentResult` for an experiment that failed.
+
+    Keeps the result dictionary total under ``keep_going`` — the combined
+    report and the JSON documents render around the failure instead of
+    losing the surviving experiments.
+    """
+    status = "aborted" if aborted else "failed"
+    message = f"{type(error).__name__}: {error}" if not aborted else str(error)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"({status})",
+        claim="(not evaluated — the experiment did not produce results)",
+        rows=[{"status": status, "error": message}],
+        passed=False,
+        notes=f"{status}: {message}",
+    )
+
+
 def build_results(
     scale: str = "small",
     experiment_ids: Optional[Sequence[str]] = None,
     rng_offset: int = 0,
     pipeline: Optional[ExperimentPipeline] = None,
+    keep_going: bool = False,
+    max_failures: Optional[int] = None,
+    failure_log: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run the requested experiments (all by default) and return the results.
 
     ``rng_offset`` is added to each experiment's default seed path by passing
     it as the seed, so repeated report builds can be made independent.
+
+    With ``keep_going``, an experiment that raises is replaced by a failed
+    placeholder result (``passed=False``) and the remaining experiments still
+    run; each failure is appended to ``failure_log`` (when given) as
+    ``{"experiment", "status", "error"}``.  ``max_failures`` bounds the
+    tolerated failures — once exceeded, the remaining experiments are marked
+    aborted without running.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(distinct_experiment_ids())
     ids = validate_experiment_ids(ids)
     results: Dict[str, ExperimentResult] = {}
+    failures = 0
+    aborted_from: Optional[int] = None
     for index, experiment_id in enumerate(ids):
+        if aborted_from is not None:
+            error = RuntimeError(
+                f"aborted after {failures} failures (max_failures={max_failures})"
+            )
+            results[experiment_id] = failed_placeholder(experiment_id, error, aborted=True)
+            if failure_log is not None:
+                failure_log.append(
+                    {"experiment": experiment_id, "status": "aborted", "error": str(error)}
+                )
+            continue
         runner = get_experiment(experiment_id)
         kwargs: Dict[str, Any] = {"scale": scale, "pipeline": pipeline}
         if rng_offset:
             kwargs["rng"] = 1000 * (index + 1) + rng_offset
-        results[experiment_id] = runner(**kwargs)
+        if not keep_going:
+            results[experiment_id] = runner(**kwargs)
+            continue
+        try:
+            results[experiment_id] = runner(**kwargs)
+        except Exception as error:
+            failures += 1
+            results[experiment_id] = failed_placeholder(experiment_id, error)
+            if failure_log is not None:
+                failure_log.append(
+                    {
+                        "experiment": experiment_id,
+                        "status": "failed",
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+            if max_failures is not None and failures > max_failures:
+                aborted_from = index + 1
     return results
 
 
@@ -137,13 +198,16 @@ def all_passed(results: Dict[str, ExperimentResult]) -> bool:
 
 
 def verification_as_dict(
-    results: Dict[str, ExperimentResult], scale: Optional[str] = None
+    results: Dict[str, ExperimentResult],
+    scale: Optional[str] = None,
+    execution: Optional[ExecutionReport] = None,
 ) -> Dict[str, Any]:
     """JSON-ready verification document (the ``repro verify --json`` schema).
 
     Counts are **per check** (one experiment contributes one entry per row of
     its declarative check table), so the regression gate reports exactly
-    which criterion moved, not just which experiment.
+    which criterion moved, not just which experiment.  ``execution`` attaches
+    the pipeline's :class:`repro.execution.ExecutionReport` counters.
     """
     experiments: Dict[str, Any] = {}
     passed = checked = 0
@@ -164,6 +228,8 @@ def verification_as_dict(
     }
     if scale is not None:
         document["scale"] = scale
+    if execution is not None:
+        document["execution"] = execution.as_dict()
     return document
 
 
@@ -210,6 +276,7 @@ __all__ = [
     "build_report",
     "build_results",
     "distinct_experiment_ids",
+    "failed_placeholder",
     "render_markdown",
     "render_verification",
     "results_as_dict",

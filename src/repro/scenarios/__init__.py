@@ -31,7 +31,12 @@ from repro.scenarios.networks import (
     network_families,
     register_network,
 )
-from repro.scenarios.pipeline import ExperimentPipeline, PointResult, default_cache_dir
+from repro.scenarios.pipeline import (
+    ExperimentPipeline,
+    PointResult,
+    default_cache_dir,
+    failed_points,
+)
 from repro.scenarios.scenario import Scenario, ScenarioPoint, scenario_seed
 
 __all__ = [
@@ -42,6 +47,7 @@ __all__ = [
     "ScenarioPoint",
     "build_network",
     "default_cache_dir",
+    "failed_points",
     "get_measurement",
     "get_network_family",
     "measure_point",

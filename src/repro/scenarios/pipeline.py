@@ -4,18 +4,22 @@
 for user-supplied scenario files.  It expands scenarios into independent
 :class:`ScenarioPoint` units and
 
-* runs missing points with **point-level parallelism** over the same forked
-  process pool the trial runner uses (``jobs=k``) — a sweep's points run
-  concurrently instead of serially, and because each point derives its own
-  seed stream from the scenario content, parallel results are identical to
-  serial ones;
+* runs missing points with **point-level parallelism** over the supervised
+  forked worker pool (``jobs=k``) — a sweep's points run concurrently instead
+  of serially, and because each point derives its own seed stream from the
+  scenario content, parallel results are identical to serial ones;
+* supervises every point through :mod:`repro.execution`: failed attempts
+  retry with backoff, broken pools respawn, timeouts censor runaway points,
+  and with ``keep_going=True`` a sweep finishes around failed points instead
+  of aborting (``max_failures`` bounds how many failures are tolerated);
 * persists each payload through a pluggable :class:`repro.api.ResultSink`
   keyed by content hash of the point spec (scenario dict + sweep value +
   measurement-kind version), so a re-run — after a crash, on another flag
   combination, from a different entry point — resumes from the artifact
-  store instead of recomputing;
+  store instead of recomputing; **failed points are never cached**;
 * returns results in deterministic scenario/point order regardless of cache
-  state or worker scheduling.
+  state or worker scheduling, with per-point ``status``/``error``/``attempts``
+  and a cumulative :class:`repro.execution.ExecutionReport` on ``.report``.
 
 The default sink is :class:`repro.api.LocalDirSink` (one JSON artifact per
 key under ``cache_dir``); pass ``sink=`` to plug in any other store — a
@@ -33,9 +37,16 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.sinks import LocalDirSink, NullSink, ResultSink
+from repro.execution.chaos import ChaosMonkey, chaos_from_env
+from repro.execution.policy import DEFAULT_POLICY, RetryPolicy
+from repro.execution.report import ExecutionReport
+from repro.execution.supervisor import (
+    ItemOutcome,
+    raise_first_failure,
+    supervised_map,
+)
 from repro.scenarios.measurements import measure_point
 from repro.scenarios.scenario import Scenario, ScenarioPoint
-from repro.utils.parallel import fork_map
 from repro.utils.validation import require
 
 #: Environment variable overriding the default cache directory.
@@ -54,21 +65,32 @@ def default_cache_dir() -> str:
 class PointResult:
     """Outcome of one scenario point.
 
-    ``payload`` is the measurement output (already JSON-normalised);
-    ``cached`` records whether it was loaded from an artifact.
+    ``payload`` is the measurement output (already JSON-normalised), or
+    ``None`` when the point failed; ``cached`` records whether it was loaded
+    from an artifact.  ``status`` is one of ``"ok"``, ``"failed"``,
+    ``"timeout"`` or ``"aborted"``; ``error`` carries the failure description
+    and ``attempts`` how many executions were tried (0 for cached points).
     """
 
     scenario: Scenario
     value: Any
     index: int
     key: str
-    payload: Dict[str, Any]
+    payload: Optional[Dict[str, Any]]
     cached: bool
+    status: str = "ok"
+    error: Optional[str] = None
+    attempts: int = 0
 
     @property
     def label(self) -> str:
         """The owning scenario's label."""
         return self.scenario.label
+
+    @property
+    def ok(self) -> bool:
+        """True when the point has a payload (fresh or cached)."""
+        return self.status == "ok"
 
 
 class ExperimentPipeline:
@@ -86,6 +108,24 @@ class ExperimentPipeline:
     sink:
         Any :class:`repro.api.ResultSink` artifact store; overrides
         ``cache_dir`` when given.
+    keep_going:
+        When True, a failed point is recorded (``status``/``error``) and the
+        sweep continues; when False (default) the first failure re-raises its
+        original exception after the surviving points are cached.
+    max_failures:
+        With ``keep_going``, abort the sweep once strictly more than this
+        many points have failed (remaining points get ``status="aborted"``).
+        ``None`` (default) tolerates any number of failures.
+    policy:
+        :class:`repro.execution.RetryPolicy` controlling retry, timeout and
+        backoff.  Defaults to the executor's resilient default policy.
+    chaos:
+        A :class:`repro.execution.ChaosMonkey` fault injector.  Defaults to
+        whatever the ``REPRO_CHAOS`` environment variable configures (no
+        chaos when unset).
+
+    A cumulative :class:`repro.execution.ExecutionReport` is kept on
+    ``self.report`` across ``run()`` calls.
     """
 
     def __init__(
@@ -93,15 +133,26 @@ class ExperimentPipeline:
         jobs: int = 1,
         cache_dir: Union[None, str, Path] = None,
         sink: Optional[ResultSink] = None,
+        keep_going: bool = False,
+        max_failures: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosMonkey] = None,
     ):
         require(isinstance(jobs, int) and jobs >= 1,
                 f"jobs must be a positive integer, got {jobs!r}")
         require(sink is None or cache_dir is None, "pass cache_dir or sink, not both")
+        require(max_failures is None or (isinstance(max_failures, int) and max_failures >= 0),
+                f"max_failures must be a non-negative integer, got {max_failures!r}")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if sink is None:
             sink = LocalDirSink(self.cache_dir) if cache_dir is not None else NullSink()
         self.sink = sink
+        self.keep_going = keep_going
+        self.max_failures = max_failures
+        self.policy = DEFAULT_POLICY if policy is None else policy
+        self.chaos = chaos_from_env() if chaos is None else chaos
+        self.report = ExecutionReport()
 
     # -- cache -------------------------------------------------------------
 
@@ -128,7 +179,11 @@ class ExperimentPipeline:
 
         payloads: List[Optional[Dict[str, Any]]] = [None] * len(points)
         cached_mask = [False] * len(points)
+        statuses = ["ok"] * len(points)
+        errors: List[Optional[str]] = [None] * len(points)
+        attempts = [0] * len(points)
         missing: List[int] = []
+        corruption_before = getattr(self.sink, "corruption_detected", 0)
         for position, (point, key) in enumerate(zip(points, keys)):
             cached = self._load_cached(point, key)
             if cached is not None:
@@ -136,13 +191,29 @@ class ExperimentPipeline:
                 cached_mask[position] = True
             else:
                 missing.append(position)
+        self.report.cache_hits += sum(cached_mask)
+        self.report.cache_corruption += (
+            getattr(self.sink, "corruption_detected", 0) - corruption_before
+        )
 
         if missing:
-            fresh = self._compute([points[i] for i in missing])
-            for position, payload in zip(missing, fresh):
-                payload = _normalise(payload)
-                payloads[position] = payload
-                self._store(points[position], keys[position], payload)
+            outcomes = self._compute([points[i] for i in missing])
+            for position, outcome in zip(missing, outcomes):
+                statuses[position] = outcome.status
+                attempts[position] = outcome.attempts
+                if outcome.ok:
+                    payload = _normalise(outcome.value)
+                    payloads[position] = payload
+                    # Only successful payloads are ever cached.
+                    self._store(points[position], keys[position], payload)
+                    if self.chaos is not None:
+                        self.chaos.maybe_corrupt(self.sink, keys[position])
+                else:
+                    errors[position] = outcome.error
+            if not self.keep_going:
+                # Surviving points were already cached; re-raise the first
+                # failure's original exception (historical strict contract).
+                raise_first_failure(outcomes)
 
         return [
             PointResult(
@@ -152,17 +223,26 @@ class ExperimentPipeline:
                 key=key,
                 payload=payload,
                 cached=cached,
+                status=status,
+                error=error,
+                attempts=count,
             )
-            for point, key, payload, cached in zip(points, keys, payloads, cached_mask)
+            for point, key, payload, cached, status, error, count in zip(
+                points, keys, payloads, cached_mask, statuses, errors, attempts
+            )
         ]
 
-    def _compute(self, points: Sequence[ScenarioPoint]) -> List[Dict[str, Any]]:
-        """Measure ``points``, in parallel when ``jobs > 1`` and fork exists."""
-        if self.jobs > 1 and len(points) > 1:
-            results = fork_map(measure_point, points, self.jobs)
-            if results is not None:
-                return results
-        return [measure_point(point) for point in points]
+    def _compute(self, points: Sequence[ScenarioPoint]) -> List[ItemOutcome]:
+        """Measure ``points`` under supervision (parallel when ``jobs > 1``)."""
+        return supervised_map(
+            measure_point,
+            points,
+            workers=self.jobs,
+            policy=self.policy,
+            chaos=self.chaos,
+            report=self.report,
+            max_failures=self.max_failures if self.keep_going else None,
+        )
 
 
 def _normalise(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -174,10 +254,16 @@ def _normalise(payload: Dict[str, Any]) -> Dict[str, Any]:
     return json.loads(json.dumps(payload, allow_nan=True))
 
 
+def failed_points(results: Iterable[PointResult]) -> List[PointResult]:
+    """The subset of ``results`` that did not produce a payload."""
+    return [result for result in results if not result.ok]
+
+
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
     "ExperimentPipeline",
     "PointResult",
     "default_cache_dir",
+    "failed_points",
 ]

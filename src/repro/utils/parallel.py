@@ -8,42 +8,39 @@ are not picklable, so the pool uses the ``fork`` start method and passes the
 callable and its inputs to the children through inherited process memory
 rather than through pickling.
 
-The payload hand-off is serialised by a lock so concurrent ``fork_map`` calls
-from different threads cannot fork workers that inherit each other's payload.
-Workers themselves never call ``fork_map`` again, so the inherited (locked)
-lock is harmless in the children.
+Since the fault-tolerance PR, :func:`fork_map` is a thin compatibility
+wrapper over :func:`repro.execution.supervisor.supervised_map`: items are
+submitted **per item** (no chunking — a poisoned item can no longer fail its
+chunk-mates), broken pools are respawned, and retry/timeout behaviour is
+configurable through an optional :class:`repro.execution.RetryPolicy`.  The
+default policy preserves the historical contract: one attempt per item, the
+first failing item's exception re-raised in the caller.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import threading
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.execution.chaos import ChaosMonkey
+from repro.execution.policy import ONE_SHOT_POLICY, RetryPolicy
+from repro.execution.report import ExecutionReport
+from repro.execution.supervisor import (
+    fork_available,
+    raise_first_failure,
+    supervised_map,
+)
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
 
-#: Payload inherited by forked workers (set only around a parallel run).
-_FORK_PAYLOAD: Optional[Tuple[Callable, Sequence]] = None
-
-#: Serialises the set-payload / fork-workers / clear-payload window.
-_FORK_LOCK = threading.Lock()
-
-
-def fork_available() -> bool:
-    """True when the ``fork`` start method exists on this platform."""
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-def _forked_call(index: int):
-    """Apply the inherited payload function to item ``index`` in a worker."""
-    fn, items = _FORK_PAYLOAD
-    return fn(items[index])
-
 
 def fork_map(
-    fn: Callable[[Item], Result], items: Sequence[Item], workers: int
+    fn: Callable[[Item], Result],
+    items: Sequence[Item],
+    workers: int,
+    policy: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosMonkey] = None,
+    report: Optional[ExecutionReport] = None,
 ) -> Optional[List[Result]]:
     """Map ``fn`` over ``items`` using ``workers`` forked processes.
 
@@ -51,24 +48,30 @@ def fork_map(
     ``None`` when the ``fork`` start method is unavailable — the caller is
     expected to fall back to a serial loop, since without fork the function
     and items would have to be picklable, which this API does not require.
+
+    Execution is supervised (see :mod:`repro.execution.supervisor`): pass a
+    ``policy`` to enable retry/timeout/backoff, a ``chaos`` monkey to inject
+    faults, and a ``report`` to accumulate recovery counters.  Without a
+    policy, items get exactly one attempt and no pool respawn (the
+    historical behaviour), though unsubmitted items still complete via the
+    serial fallback when a worker dies.  On any ultimately-failed item the
+    first failure's original exception is re-raised in the caller.
     """
     items = list(items)
     if not fork_available():
         return None
     if not items:
         return []
-    context = multiprocessing.get_context("fork")
-    global _FORK_PAYLOAD
-    with _FORK_LOCK:
-        _FORK_PAYLOAD = (fn, items)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(items)), mp_context=context
-            ) as pool:
-                chunksize = max(1, len(items) // (4 * workers))
-                return list(pool.map(_forked_call, range(len(items)), chunksize=chunksize))
-        finally:
-            _FORK_PAYLOAD = None
+    outcomes = supervised_map(
+        fn,
+        items,
+        workers=workers,
+        policy=ONE_SHOT_POLICY if policy is None else policy,
+        chaos=chaos,
+        report=report,
+    )
+    raise_first_failure(outcomes)
+    return [outcome.value for outcome in outcomes]
 
 
 __all__ = ["fork_available", "fork_map"]

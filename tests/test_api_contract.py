@@ -18,16 +18,19 @@ from repro import api
 #: breaking changes and need a deliberate snapshot update.
 EXPECTED_ALL = [
     "CIWidthRule",
+    "ChaosMonkey",
     "Check",
     "CheckReport",
     "CheckResult",
     "EventLog",
+    "ExecutionReport",
     "LocalDirSink",
     "MemorySink",
     "NetworkLike",
     "NullSink",
     "ObserverChain",
     "ResultSink",
+    "RetryPolicy",
     "RunBuilder",
     "RunObserver",
     "RunResult",
@@ -36,6 +39,7 @@ EXPECTED_ALL = [
     "TrialSet",
     "bind_point",
     "evaluate_checks",
+    "payload_checksum",
     "run",
     "sweep_scenario",
 ]

@@ -532,7 +532,9 @@ class TestVerifyCommand:
         code = main(["verify", "--only", "E8", "--no-cache", "--json"], out=buffer)
         assert code == 0
         document = json.loads(buffer.getvalue())
-        assert set(document) == {"passed", "checked", "all_passed", "experiments", "scale"}
+        assert set(document) == {
+            "passed", "checked", "all_passed", "experiments", "scale", "execution",
+        }
         assert document["all_passed"] is True
         checks = document["experiments"]["E8"]["checks"]
         assert {"label", "kind", "passed", "observed", "bound_low", "bound_high",

@@ -295,10 +295,12 @@ class TestJsonOutput:
         document = json.loads(buffer.getvalue())
         assert set(document) == {
             "experiment_id", "title", "claim", "rows", "derived", "passed", "notes",
+            "execution",
         }
         assert document["experiment_id"] == "E8"
         assert document["passed"] is True
         assert isinstance(document["rows"], list) and document["rows"]
+        assert document["execution"]["failures"] == 0
 
     def test_report_json_schema(self):
         buffer = io.StringIO()

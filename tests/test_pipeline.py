@@ -49,9 +49,10 @@ class TestPipelineCache:
         artifacts = sorted(tmp_path.glob("*.json"))
         assert len(artifacts) == 2
         artifact = json.loads(artifacts[0].read_text())
-        assert set(artifact) == {"key", "kind", "spec", "payload"}
+        assert set(artifact) == {"key", "kind", "spec", "payload", "checksum"}
         assert artifact["kind"] == "trials"
         assert artifact["key"] in {point.key for point in results}
+        assert artifact["checksum"].startswith("sha256:")
 
     def test_different_seed_misses_cache(self, tmp_path):
         pipeline = ExperimentPipeline(cache_dir=tmp_path)
