@@ -38,7 +38,14 @@ from repro.api.builder import (
     run,
     sweep_scenario,
 )
-from repro.api.observers import CIWidthRule, EventLog, ObserverChain, RunObserver
+from repro.api.observers import (
+    CIWidthRule,
+    EventLog,
+    ObserverChain,
+    RunObserver,
+    StructuredObserver,
+    event_to_dict,
+)
 from repro.api.results import RunResult, SweepFrame, TrialSet
 from repro.api.sinks import (
     LocalDirSink,
@@ -69,10 +76,12 @@ __all__ = [
     "RunObserver",
     "RunResult",
     "RunSpec",
+    "StructuredObserver",
     "SweepFrame",
     "TrialSet",
     "bind_point",
     "evaluate_checks",
+    "event_to_dict",
     "payload_checksum",
     "run",
     "sweep_scenario",

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import math
 import statistics
-from typing import TYPE_CHECKING, Hashable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api <- core)
     from repro.core.state import SpreadResult
@@ -118,6 +120,93 @@ class EventLog(RunObserver):
         return [event for event in self.events if event[0] == kind]
 
 
+#: Field names of each :class:`EventLog` tuple kind, in tuple order.  This is
+#: the wire schema of the streaming protocol: :func:`event_to_dict` zips a
+#: recorded tuple with these names, and :class:`StructuredObserver` emits the
+#: same dicts live — so a serialized stream and a replayed log are comparable
+#: element by element.
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "snapshot": ("step", "informed"),
+    "event": ("time", "node", "informed"),
+    "round": ("round", "informed"),
+    "complete": ("spread_time",),
+    "trial": ("index", "spread_time"),
+}
+
+
+def _json_value(value: Any) -> Any:
+    """Coerce one event payload value to a plain JSON type.
+
+    Numpy scalars become Python numbers, tuples become lists, and anything
+    else non-primitive (an exotic node label) falls back to ``str`` so the
+    stream never fails to serialize mid-run.
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_value(inner) for inner in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def event_to_dict(event: Sequence) -> Dict[str, Any]:
+    """Serialize one :class:`EventLog` tuple to a JSON-ready dict.
+
+    ``("event", 1.5, 3, 2)`` becomes ``{"kind": "event", "time": 1.5,
+    "node": 3, "informed": 2}``; the field names per kind are
+    :data:`EVENT_FIELDS`.  This is the single tuple → wire-document mapping
+    used by both the replay path (serializing a recorded log) and the live
+    path (:class:`StructuredObserver`), so the two are interchangeable.
+    """
+    kind = event[0]
+    if kind not in EVENT_FIELDS:
+        raise ValueError(
+            f"unknown observer event kind {kind!r}; known kinds: {sorted(EVENT_FIELDS)}"
+        )
+    payload = event[1:]
+    fields = EVENT_FIELDS[kind]
+    if len(payload) != len(fields):
+        raise ValueError(
+            f"{kind!r} event carries {len(payload)} values, expected {len(fields)}"
+        )
+    document: Dict[str, Any] = {"kind": kind}
+    for name, value in zip(fields, payload):
+        document[name] = _json_value(value)
+    return document
+
+
+class StructuredObserver(RunObserver):
+    """Forwards every hook as one JSON-ready dict to an ``emit`` callable.
+
+    The dicts are exactly :func:`event_to_dict` applied to the tuples an
+    :class:`EventLog` would record for the same run, so a live stream fed by
+    this observer can be pinned against a replayed log.  ``emit`` is called
+    synchronously from the engine thread; hand it something cheap (a queue
+    append, an event-stream emit).
+    """
+
+    def __init__(self, emit: Callable[[Dict[str, Any]], Any]):
+        self._emit = emit
+
+    def on_snapshot(self, step, snapshot, informed_count) -> None:
+        self._emit(event_to_dict(("snapshot", step, informed_count)))
+
+    def on_event(self, time, node, informed_count) -> None:
+        self._emit(event_to_dict(("event", time, node, informed_count)))
+
+    def on_round(self, round_index, informed_count) -> None:
+        self._emit(event_to_dict(("round", round_index, informed_count)))
+
+    def on_complete(self, result) -> None:
+        self._emit(event_to_dict(("complete", result.spread_time)))
+
+    def on_trial(self, index, result) -> None:
+        self._emit(event_to_dict(("trial", index, result.spread_time)))
+
+
 class CIWidthRule:
     """Early-stopping rule: stop once the mean's confidence interval is tight.
 
@@ -155,4 +244,12 @@ class CIWidthRule:
         return self.width(spread_times) <= self.target
 
 
-__all__ = ["CIWidthRule", "EventLog", "ObserverChain", "RunObserver"]
+__all__ = [
+    "CIWidthRule",
+    "EVENT_FIELDS",
+    "EventLog",
+    "ObserverChain",
+    "RunObserver",
+    "StructuredObserver",
+    "event_to_dict",
+]

@@ -34,7 +34,7 @@ import tempfile
 import warnings
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 
 def payload_checksum(payload: Dict[str, Any]) -> str:
@@ -57,6 +57,27 @@ class ResultSink(ABC):
     def store(self, key: str, spec: Dict[str, Any], kind: str, payload: Dict[str, Any]) -> None:
         """Persist ``payload`` under ``key`` with its identifying ``spec``."""
 
+    @abstractmethod
+    def keys(self) -> List[str]:
+        """The content-hash keys currently stored, in sorted order."""
+
+    def __contains__(self, key: str) -> bool:
+        """True when an artifact is stored under ``key`` (spec unverified)."""
+        return key in self.keys()
+
+    def artifact(self, key: str) -> Optional[Dict[str, Any]]:
+        """The full stored artifact (``key``/``kind``/``spec``/``payload``/
+        ``checksum``) for ``key``, or ``None`` when the sink holds nothing
+        servable under it.
+
+        Unlike :meth:`load` this does not require the caller to know the
+        spec — it is the retrieval path for consumers addressing artifacts
+        purely by content hash (``GET /artifacts/{key}``); the embedded
+        checksum lets them verify the payload end to end.  The base
+        implementation serves nothing.
+        """
+        return None
+
 
 class NullSink(ResultSink):
     """A sink that stores nothing (caching disabled)."""
@@ -66,6 +87,12 @@ class NullSink(ResultSink):
 
     def store(self, key, spec, kind, payload):
         return None
+
+    def keys(self):
+        return []
+
+    def __contains__(self, key):
+        return False
 
 
 class MemorySink(ResultSink):
@@ -109,6 +136,16 @@ class MemorySink(ResultSink):
             "checksum": payload_checksum(payload),
         }
 
+    def keys(self):
+        return sorted(self._artifacts)
+
+    def __contains__(self, key):
+        return key in self._artifacts
+
+    def artifact(self, key):
+        artifact = self._artifacts.get(key)
+        return copy.deepcopy(artifact) if artifact is not None else None
+
 
 class LocalDirSink(ResultSink):
     """One JSON artifact per key in a local directory.
@@ -151,6 +188,21 @@ class LocalDirSink(ResultSink):
             )
             return None
         return payload
+
+    def keys(self):
+        if not self.directory.is_dir():
+            return []
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def __contains__(self, key):
+        return self._path(key).is_file()
+
+    def artifact(self, key):
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None  # absent, unreadable or torn: nothing servable
 
     def store(self, key, spec, kind, payload):
         path = self._path(key)

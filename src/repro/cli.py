@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
@@ -54,6 +53,7 @@ from repro.scenarios import (
     get_network_family,
     network_families,
 )
+from repro.utils.jsonio import finite_json
 
 #: Network families offered by ``simulate`` (the whole registry).
 NETWORK_CHOICES = network_families()
@@ -214,25 +214,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit full point payloads as JSON"
     )
     add_pipeline_flags(scenarios_run)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the HTTP experiment service (REST + SSE + Prometheus metrics)",
+        allow_abbrev=False,
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral port, announced on stdout)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads executing queued runs concurrently",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="per-run point parallelism (1 keeps engine events streamable)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact store directory (default: the pipeline's default cache dir)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="keep artifacts in memory only (still served via /artifacts)",
+    )
+    serve_parser.add_argument(
+        "--max-events", type=int, default=10000,
+        help="per-run event buffer bound (older events are evicted)",
+    )
     return parser
 
 
-def _finite_json(value: Any) -> Any:
-    """Replace non-finite floats so ``json.dump`` emits valid RFC-8259 JSON.
-
-    Python's writer would otherwise produce bare ``Infinity``/``NaN`` literals
-    (e.g. E3's ``Tabs_if_reached`` column), which non-Python consumers reject;
-    they become the strings ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"``.
-    """
-    if isinstance(value, dict):
-        return {key: _finite_json(inner) for key, inner in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_finite_json(inner) for inner in value]
-    if isinstance(value, float) and not math.isfinite(value):
-        if math.isnan(value):
-            return "NaN"
-        return "Infinity" if value > 0 else "-Infinity"
-    return value
+# Non-finite floats become "Infinity"/"-Infinity"/"NaN" strings so every
+# --json document is valid RFC-8259 JSON (single source shared with the
+# HTTP service's response bodies).
+_finite_json = finite_json
 
 
 def _dump_json(document: Any, out) -> None:
@@ -695,6 +714,42 @@ def _scenario_check_reports(scenarios: List[Scenario], results):
     return reports
 
 
+def _command_serve(args, out) -> int:
+    # Imported lazily: the service package is only needed by this command.
+    from repro.service import ExperimentService, ServiceConfig, create_server
+
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    try:
+        service = ExperimentService(ServiceConfig(
+            workers=args.workers,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            max_events=args.max_events,
+        ))
+        server = create_server(service, host=args.host, port=args.port)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    # The announce line is a machine-readable contract: scripts starting the
+    # service on port 0 read the actual port from it (see ci service-smoke).
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(workers={args.workers}, jobs={args.jobs})", file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("repro serve: shutting down (draining queued runs)", file=out, flush=True)
+        server.shutdown()
+        server.server_close()
+        service.shutdown(drain=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = sys.stdout if out is None else out
@@ -726,6 +781,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         if args.scenarios_command == "list":
             return _command_scenarios_list(args, out)
         return _command_scenarios_run(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -94,9 +94,23 @@ def measurement_version(name: str) -> int:
     return _MEASUREMENTS[name][1]
 
 
-def measure_point(point: ScenarioPoint) -> Dict[str, Any]:
-    """Execute one scenario point and return its payload."""
-    return get_measurement(point.scenario.kind)(point)
+#: Kinds that accept a live :class:`repro.api.RunObserver` (the ones that run
+#: the spreading process through the api builder in-process).
+OBSERVED_KINDS = ("trials",)
+
+
+def measure_point(point: ScenarioPoint, observer=None) -> Dict[str, Any]:
+    """Execute one scenario point and return its payload.
+
+    ``observer`` (a :class:`repro.api.RunObserver`) is threaded into the
+    engine for kinds listed in :data:`OBSERVED_KINDS`; other kinds ignore it.
+    Hooks fire in whichever process measures the point, so live streaming to
+    the caller needs in-process execution (pipeline ``jobs=1``).
+    """
+    fn = get_measurement(point.scenario.kind)
+    if observer is not None and point.scenario.kind in OBSERVED_KINDS:
+        return fn(point, observer=observer)
+    return fn(point)
 
 
 # ---------------------------------------------------------------------------
@@ -173,19 +187,28 @@ def probe_values(scenario: Scenario, network: DynamicNetwork) -> Dict[str, float
 
 
 @register_measurement("trials")
-def _measure_trials(point: ScenarioPoint) -> Dict[str, Any]:
+def _measure_trials(point: ScenarioPoint, observer=None) -> Dict[str, Any]:
     """Repeated spreading runs: raw spread times + summary statistics.
 
     A thin adapter over :mod:`repro.api`: the point binds to a
     :class:`repro.api.RunBuilder` (which reproduces the scenario seed policy
     exactly) and the typed :class:`repro.api.TrialSet` is flattened into the
     historical payload shape.  The ``until_ci_width`` / ``max_trials``
-    options ride through the builder's adaptive stopping rule.
+    options ride through the builder's adaptive stopping rule, and an
+    optional ``observer`` streams engine events exactly as
+    ``bind_point(point).observe(observer)`` would.
     """
     scenario = point.scenario
     probe = point.build_network()
     max_time = resolve_max_time(scenario, probe)
-    trial_set = bind_point(point, max_time=max_time).collect()
+    builder = bind_point(point, max_time=max_time)
+    # Streaming must never perturb what executes: engine="batched" rejects
+    # observers outright, and engine="auto" would resolve to a *different*
+    # engine when observed (boundary instead of batched) — so those points
+    # run unobserved and the payload stays a pure function of the cache key.
+    if observer is not None and scenario.engine not in ("batched", "auto"):
+        builder = builder.observe(observer)
+    trial_set = builder.collect()
     return _payload(point, trial_set, probe, max_time)
 
 

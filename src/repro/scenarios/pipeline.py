@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -168,8 +169,19 @@ class ExperimentPipeline:
         """Run a single scenario's points."""
         return self.run([scenario])
 
-    def run(self, scenarios: Union[Scenario, Iterable[Scenario]]) -> List[PointResult]:
-        """Run every point of every scenario; results in scenario/point order."""
+    def run(
+        self,
+        scenarios: Union[Scenario, Iterable[Scenario]],
+        observer=None,
+    ) -> List[PointResult]:
+        """Run every point of every scenario; results in scenario/point order.
+
+        ``observer`` (a :class:`repro.api.RunObserver`) is threaded into the
+        engine for freshly computed points of observable kinds (see
+        :data:`repro.scenarios.measurements.OBSERVED_KINDS`).  Cached points
+        fire no hooks, and with ``jobs > 1`` the hooks fire inside the worker
+        processes (invisible to the caller) — live streaming wants ``jobs=1``.
+        """
         if isinstance(scenarios, Scenario):
             scenarios = [scenarios]
         points: List[ScenarioPoint] = [
@@ -197,7 +209,7 @@ class ExperimentPipeline:
         )
 
         if missing:
-            outcomes = self._compute([points[i] for i in missing])
+            outcomes = self._compute([points[i] for i in missing], observer=observer)
             for position, outcome in zip(missing, outcomes):
                 statuses[position] = outcome.status
                 attempts[position] = outcome.attempts
@@ -232,10 +244,13 @@ class ExperimentPipeline:
             )
         ]
 
-    def _compute(self, points: Sequence[ScenarioPoint]) -> List[ItemOutcome]:
+    def _compute(
+        self, points: Sequence[ScenarioPoint], observer=None
+    ) -> List[ItemOutcome]:
         """Measure ``points`` under supervision (parallel when ``jobs > 1``)."""
+        fn = measure_point if observer is None else partial(measure_point, observer=observer)
         return supervised_map(
-            measure_point,
+            fn,
             points,
             workers=self.jobs,
             policy=self.policy,

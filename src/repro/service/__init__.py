@@ -1,0 +1,55 @@
+"""``repro.service`` — the experiment service behind ``repro serve``.
+
+A stdlib-only HTTP service that queues scenario runs, executes them through
+the supervised :class:`repro.scenarios.ExperimentPipeline`, streams live
+engine events over Server-Sent-Events, serves cached artifacts by content
+hash, and exposes Prometheus metrics.  Layers:
+
+* :mod:`repro.service.events` — bounded, replayable per-run event streams;
+* :mod:`repro.service.runs` — run records, lifecycle states, the registry;
+* :mod:`repro.service.metrics` — service counters + Prometheus rendering;
+* :mod:`repro.service.app` — :class:`ExperimentService`: queue, worker pool,
+  execution, result documents (transport-independent, fully testable);
+* :mod:`repro.service.http` — the ``http.server`` adapter and SSE framing.
+
+In-process quickstart (no sockets)::
+
+    from repro.service import ExperimentService, ServiceConfig
+
+    service = ExperimentService(ServiceConfig(workers=1))
+    record = service.submit(scenarios)
+    record.wait(timeout=60)
+    print(record.state, record.result["all_passed"])
+    service.shutdown()
+
+Over HTTP, ``repro serve`` (or :func:`create_server`) exposes the same
+service on a port — see the README's "Experiment service" section.
+"""
+
+from repro.service.app import (
+    ExperimentService,
+    ServiceClosed,
+    ServiceConfig,
+    parse_scenarios,
+)
+from repro.service.events import DEFAULT_MAX_EVENTS, EventStream
+from repro.service.http import ServiceHTTPServer, create_server
+from repro.service.metrics import ServiceMetrics, render_prometheus
+from repro.service.runs import RUN_STATES, RunRecord, RunRegistry, TERMINAL_STATES
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "EventStream",
+    "ExperimentService",
+    "RUN_STATES",
+    "RunRecord",
+    "RunRegistry",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "ServiceMetrics",
+    "TERMINAL_STATES",
+    "create_server",
+    "parse_scenarios",
+    "render_prometheus",
+]

@@ -1,0 +1,327 @@
+"""The experiment service core: queue, worker pool, execution, accounting.
+
+:class:`ExperimentService` is the transport-independent heart of ``repro
+serve``.  It accepts Scenario batches (:func:`parse_scenarios` mirrors the
+CLI's accepted JSON shapes), queues them, and executes each run on a small
+pool of worker threads through the existing
+:class:`repro.scenarios.ExperimentPipeline` — so queued runs get the same
+supervised retry/timeout/chaos semantics, artifact caching and
+:class:`repro.execution.ExecutionReport` accounting as ``repro scenarios
+run``.  Runs execute with ``keep_going`` semantics by default: failed points
+are recorded, not fatal.
+
+While a run executes, a :class:`repro.api.StructuredObserver` forwards every
+engine hook into the run's :class:`repro.service.events.EventStream`, where
+SSE subscribers (and in-process tests) replay it.  Service lifecycle events
+(``kind="state"``, ``kind="result"``) share the stream but use kinds disjoint
+from the engine's, so consumers can split them without heuristics.
+
+The HTTP layer (:mod:`repro.service.http`) is a thin adapter over this class;
+everything here is directly usable — and tested — without sockets.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.api.observers import StructuredObserver
+from repro.api.sinks import LocalDirSink, MemorySink, ResultSink, payload_checksum
+from repro.checks import evaluate_checks
+from repro.execution.chaos import ChaosMonkey
+from repro.execution.policy import RetryPolicy
+from repro.scenarios.pipeline import ExperimentPipeline
+from repro.scenarios.scenario import Scenario
+from repro.service.events import DEFAULT_MAX_EVENTS, EventStream
+from repro.service.metrics import ServiceMetrics, render_prometheus
+from repro.service.runs import RunRecord, RunRegistry
+from repro.utils.validation import require
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when a run is submitted to a service that is shutting down."""
+
+
+def parse_scenarios(document: Any) -> List[Scenario]:
+    """Parse a request body into scenarios (the CLI's accepted JSON shapes).
+
+    Accepts a single scenario object, a list of scenario objects, or a
+    ``{"scenarios": [...]}`` wrapper document.  Raises ``ValueError`` (with a
+    client-presentable message) on anything else, including an empty batch.
+    """
+    if isinstance(document, dict) and "scenarios" in document:
+        raw_scenarios = document["scenarios"]
+    elif isinstance(document, dict):
+        raw_scenarios = [document]
+    else:
+        raw_scenarios = document
+    if not isinstance(raw_scenarios, list):
+        raise ValueError(
+            "expected a scenario object, a list of scenarios, "
+            'or a {"scenarios": [...]} document'
+        )
+    try:
+        scenarios = [Scenario.from_dict(raw) for raw in raw_scenarios]
+    except (TypeError, ValueError, KeyError) as error:
+        raise ValueError(f"invalid scenario: {error}") from error
+    if not scenarios:
+        raise ValueError("no scenarios in request")
+    return scenarios
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for an :class:`ExperimentService`.
+
+    ``jobs`` is the per-run point parallelism handed to the pipeline; the
+    default of 1 keeps point execution in the worker thread's process so the
+    streaming observer sees live engine events (``jobs > 1`` still works, but
+    engine hooks then fire inside forked workers, invisible to subscribers —
+    only lifecycle and result events stream).  ``workers`` is how many runs
+    execute concurrently.
+    """
+
+    workers: int = 2
+    jobs: int = 1
+    sink: Optional[ResultSink] = None
+    cache_dir: Union[None, str, Path] = None
+    keep_going: bool = True
+    max_failures: Optional[int] = None
+    max_events: int = DEFAULT_MAX_EVENTS
+    policy: Optional[RetryPolicy] = None
+    chaos: Optional[ChaosMonkey] = None
+
+
+@dataclass
+class _QueueItem:
+    record: RunRecord = field(repr=False)
+
+
+class ExperimentService:
+    """Queued execution of scenario runs with streaming and metrics.
+
+    The service owns one shared artifact sink (``config.sink``, or a
+    :class:`repro.api.LocalDirSink` when ``cache_dir`` is set, or an
+    in-process :class:`repro.api.MemorySink` otherwise), so resubmitting an
+    identical scenario is served from cache, and ``GET /artifacts/{key}``
+    can retrieve any stored payload by content hash.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        require(
+            isinstance(self.config.workers, int) and self.config.workers >= 1,
+            f"workers must be a positive integer, got {self.config.workers!r}",
+        )
+        if self.config.sink is not None:
+            require(self.config.cache_dir is None, "pass cache_dir or sink, not both")
+            self.sink = self.config.sink
+        elif self.config.cache_dir is not None:
+            self.sink = LocalDirSink(self.config.cache_dir)
+        else:
+            self.sink = MemorySink()
+        self.registry = RunRegistry()
+        self.metrics = ServiceMetrics()
+        self._queue: "queue.Queue[Optional[_QueueItem]]" = queue.Queue()
+        self._closed = False
+        self._abort = False
+        self._lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def submit(self, scenarios: Union[Scenario, Sequence[Scenario]]) -> RunRecord:
+        """Queue a run; returns its record immediately (202 semantics)."""
+        if isinstance(scenarios, Scenario):
+            scenarios = [scenarios]
+        require(len(scenarios) > 0, "submit needs at least one scenario")
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down; not accepting runs")
+            stream = EventStream(max_events=self.config.max_events)
+            record = self.registry.create(scenarios, stream)
+            self.metrics.increment("runs_submitted")
+            self._emit(record, {"kind": "state", "run": record.id, "state": "queued"})
+            self._queue.put(_QueueItem(record))
+            return record
+
+    def queue_depth(self) -> int:
+        """Runs accepted but not yet picked up by a worker."""
+        return self.registry.count_in_state("queued")
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                if self._abort:
+                    self._finish_aborted(item.record)
+                else:
+                    self._execute(item.record)
+            finally:
+                self._queue.task_done()
+
+    def _finish_aborted(self, record: RunRecord) -> None:
+        error = "aborted: service shutdown before execution"
+        record.mark_failed(error)
+        self.metrics.increment("runs_failed")
+        self._emit(
+            record,
+            {"kind": "state", "run": record.id, "state": "failed", "error": error},
+        )
+        record.stream.close()
+
+    def _execute(self, record: RunRecord) -> None:
+        record.mark_running()
+        self._emit(record, {"kind": "state", "run": record.id, "state": "running"})
+        pipeline = ExperimentPipeline(
+            jobs=self.config.jobs,
+            sink=self.sink,
+            keep_going=self.config.keep_going,
+            max_failures=self.config.max_failures,
+            policy=self.config.policy,
+            chaos=self.config.chaos,
+        )
+        observer = StructuredObserver(lambda event: self._emit(record, event))
+        error: Optional[str] = None
+        result: Optional[Dict[str, Any]] = None
+        try:
+            results = pipeline.run(record.scenarios, observer=observer)
+            result = self._result_document(record, results, pipeline)
+            if not result["all_passed"]:
+                failed = [
+                    point["label"] for point in result["points"]
+                    if point["status"] != "ok"
+                ]
+                if failed:
+                    error = f"{len(failed)} point(s) failed: {', '.join(sorted(set(failed)))}"
+                else:
+                    error = "checks failed"
+        except Exception as exc:  # noqa: BLE001 - runs must never kill a worker
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self.metrics.merge_execution(pipeline.report)
+        if error is None:
+            record.mark_completed(result)
+            self.metrics.increment("runs_completed")
+            state = "completed"
+        else:
+            record.mark_failed(error, result)
+            self.metrics.increment("runs_failed")
+            state = "failed"
+        if result is not None:
+            self._emit(record, {"kind": "result", "run": record.id, "result": result})
+        self._emit(
+            record,
+            {"kind": "state", "run": record.id, "state": state, "error": error},
+        )
+        record.stream.close()
+
+    def _result_document(
+        self,
+        record: RunRecord,
+        results,
+        pipeline: ExperimentPipeline,
+    ) -> Dict[str, Any]:
+        """The run's JSON result: points, check reports, execution counters."""
+        points = [
+            {
+                "label": point.label,
+                "value": point.value,
+                "index": point.index,
+                "key": point.key,
+                "cached": point.cached,
+                "status": point.status,
+                "error": point.error,
+                "attempts": point.attempts,
+                "checksum": (
+                    payload_checksum(point.payload) if point.payload is not None else None
+                ),
+                "summary": (point.payload or {}).get("summary"),
+            }
+            for point in results
+        ]
+        checks: Dict[str, Any] = {}
+        checks_passed = True
+        for index, scenario in enumerate(record.scenarios):
+            if not scenario.checks:
+                continue
+            scenario_points = [p for p in results if p.scenario is scenario]
+            report = evaluate_checks(scenario.checks, scenario_points)
+            key = scenario.label
+            if key in checks:
+                key = f"{scenario.label} #{index}"
+            checks[key] = report.as_dict()
+            checks_passed = checks_passed and report.passed
+        all_ok = all(point["status"] == "ok" for point in points)
+        return {
+            "run": record.id,
+            "points": points,
+            "checks": checks,
+            "all_passed": all_ok and checks_passed,
+            "execution": pipeline.report.as_dict(),
+        }
+
+    def _emit(self, record: RunRecord, event: Dict[str, Any]) -> None:
+        dropped_before = record.stream.dropped
+        record.stream.emit(event)
+        self.metrics.increment("events_emitted")
+        delta = record.stream.dropped - dropped_before
+        if delta:
+            self.metrics.increment("events_dropped", delta)
+
+    # -- metrics -------------------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition format)."""
+        gauges = {
+            "queue_depth": self.queue_depth(),
+            "runs_running": self.registry.count_in_state("running"),
+            "worker_threads": len(self._workers),
+        }
+        return render_prometheus(self.metrics.counters(), self.metrics.execution(), gauges)
+
+    # -- shutdown ------------------------------------------------------------
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting runs and stop the workers.
+
+        With ``drain=True`` (default) every already-queued run still executes
+        before the workers exit; with ``drain=False`` queued runs are marked
+        failed without executing.  Idempotent; safe to call from any thread.
+        """
+        with self._lock:
+            already_closed = self._closed
+            self._closed = True
+            if not drain:
+                self._abort = True
+        if not already_closed:
+            # Sentinels queue FIFO behind every accepted run, so each worker
+            # exits only after the backlog is handled (executed or aborted).
+            for _ in self._workers:
+                self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+
+__all__ = ["ExperimentService", "ServiceClosed", "ServiceConfig", "parse_scenarios"]

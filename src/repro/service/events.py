@@ -1,0 +1,154 @@
+"""Replayable, bounded event streams: the buffer behind the SSE feed.
+
+Every run owns one :class:`EventStream`.  The executing worker appends
+JSON-ready event dicts (engine observer events via
+:class:`repro.api.StructuredObserver`, plus service lifecycle events); any
+number of subscribers — late ones included — iterate the stream from the
+start and then follow it live until the run closes it.
+
+Semantics:
+
+* every event is stamped with a monotonically increasing ``seq`` number
+  (the SSE ``id:`` field), starting at 0;
+* the buffer is bounded (``max_events``): once full, the *oldest* events are
+  evicted and counted in :attr:`EventStream.dropped`, so a pathological run
+  cannot grow service memory without bound.  Subscribers that fall behind
+  (or arrive after eviction) resume from the oldest retained event — the
+  ``seq`` gap tells them exactly what they missed;
+* :meth:`EventStream.close` marks the stream complete; subscribers drain the
+  remaining buffer and stop.  Emitting after close raises.
+
+The stream is thread-safe: one writer (the run's worker thread) and any
+number of reader threads (SSE request handlers) synchronise on a single
+condition variable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from itertools import islice
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from repro.utils.validation import require
+
+#: Default per-run buffer bound (events retained for replay).
+DEFAULT_MAX_EVENTS = 10_000
+
+
+class EventStream:
+    """A bounded, closable, replayable buffer of JSON-ready event dicts."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        require(
+            isinstance(max_events, int) and max_events >= 1,
+            f"max_events must be a positive integer, got {max_events!r}",
+        )
+        self._max_events = max_events
+        self._events: Deque[Dict[str, Any]] = deque()
+        self._next_seq = 0
+        self._dropped = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # -- writer side ---------------------------------------------------------
+
+    def emit(self, event: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp ``event`` with its ``seq`` and publish it; returns the stamped copy."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot emit on a closed EventStream")
+            stamped = dict(event)
+            stamped["seq"] = self._next_seq
+            self._next_seq += 1
+            self._events.append(stamped)
+            if len(self._events) > self._max_events:
+                self._events.popleft()
+                self._dropped += 1
+            self._cond.notify_all()
+            return stamped
+
+    def close(self) -> None:
+        """Mark the stream complete; subscribers drain and stop (idempotent)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once the producing run has finished."""
+        with self._cond:
+            return self._closed
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the bounded buffer (lost to replay)."""
+        with self._cond:
+            return self._dropped
+
+    def __len__(self) -> int:
+        """Total events ever emitted (including evicted ones)."""
+        with self._cond:
+            return self._next_seq
+
+    @property
+    def first_retained(self) -> int:
+        """The ``seq`` of the oldest event still available for replay."""
+        with self._cond:
+            return self._next_seq - len(self._events)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first (a copy)."""
+        with self._cond:
+            return list(self._events)
+
+    def wait_closed(self, timeout: Optional[float] = None) -> bool:
+        """Block until the stream closes; True when it did within ``timeout``."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self._closed, timeout=timeout)
+
+    # -- reader side ---------------------------------------------------------
+
+    def subscribe(
+        self,
+        start: int = 0,
+        heartbeat: Optional[float] = None,
+    ) -> Iterator[Optional[Dict[str, Any]]]:
+        """Yield events from ``seq >= start`` (replay), then live, until closed.
+
+        A late subscriber replays everything still retained, then follows the
+        live tail; the iterator ends when the stream is closed *and* drained.
+        With ``heartbeat`` set, ``None`` is yielded whenever that many seconds
+        pass without an event — SSE handlers turn it into a keep-alive comment
+        (and get a chance to notice a dead connection).
+        """
+        next_seq = max(0, int(start))
+        while True:
+            with self._cond:
+                first = self._next_seq - len(self._events)
+                if next_seq < first:
+                    next_seq = first  # evicted: resume at the oldest retained
+                timed_out = False
+                while next_seq >= self._next_seq and not self._closed:
+                    if not self._cond.wait(timeout=heartbeat):
+                        timed_out = True
+                        break
+                if next_seq >= self._next_seq:
+                    if self._closed and not timed_out:
+                        return
+                    batch: List[Dict[str, Any]] = []
+                else:
+                    first = self._next_seq - len(self._events)
+                    next_seq = max(next_seq, first)
+                    batch = list(islice(self._events, next_seq - first, None))
+                    next_seq = self._next_seq
+            if batch:
+                for event in batch:
+                    yield event
+            else:
+                yield None  # heartbeat tick
+
+
+__all__ = ["DEFAULT_MAX_EVENTS", "EventStream"]

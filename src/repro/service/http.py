@@ -1,0 +1,236 @@
+"""The HTTP transport for :class:`repro.service.ExperimentService`.
+
+A deliberately dependency-free adapter: ``http.server.ThreadingHTTPServer``
+plus hand-rolled routing.  Every response body is strict RFC-8259 JSON
+(via :func:`repro.utils.jsonio.dumps_strict`) except ``GET /metrics``
+(Prometheus text format) and the Server-Sent-Events feed.
+
+Routes
+------
+
+====== ============================ ==========================================
+Method Path                         Meaning
+====== ============================ ==========================================
+POST   ``/runs``                    submit a scenario batch → 202 + summary
+GET    ``/runs``                    list all runs (oldest first)
+GET    ``/runs/{id}``               one run's status + result document
+GET    ``/runs/{id}/events``        live SSE feed (replays from the start;
+                                    ``?from=N`` resumes at sequence ``N``)
+GET    ``/artifacts``               keys stored in the artifact sink
+GET    ``/artifacts/{key}``         one cached artifact by content hash
+GET    ``/metrics``                 Prometheus text exposition
+GET    ``/healthz``                 liveness probe
+GET    ``/version``                 library version
+====== ============================ ==========================================
+
+SSE framing: each event is ``id: <seq>`` / ``event: <kind>`` / ``data:
+<json>`` and the stream ends when the run does; ``: keep-alive`` comment
+lines flow during quiet periods so dead clients are detected.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+import repro
+from repro.service.app import ExperimentService, ServiceClosed, parse_scenarios
+from repro.utils.jsonio import dumps_strict
+
+#: Seconds of event silence between ``: keep-alive`` comments on an SSE feed.
+SSE_HEARTBEAT_SECONDS = 15.0
+
+#: Refuse request bodies beyond this size (a scenario batch is small).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ExperimentService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: ExperimentService,
+                 quiet: bool = True):
+        super().__init__(address, RequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+def create_server(
+    service: ExperimentService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind a server for ``service``; ``port=0`` picks an ephemeral port."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the bound :class:`ExperimentService`."""
+
+    # Keep-alive + Content-Length framing for JSON; SSE opts out per-response.
+    protocol_version = "HTTP/1.1"
+    server: ServiceHTTPServer
+
+    @property
+    def service(self) -> ExperimentService:
+        return self.server.service
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    # -- response helpers ----------------------------------------------------
+
+    def _send_json(self, status: int, document: Any) -> None:
+        body = dumps_strict(document, indent=2).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message, "status": status})
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _read_body_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from error
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self.service.metrics.increment("http_requests")
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, {"status": "ok"})
+            elif parts == ["version"]:
+                self._send_json(200, {"service": "repro", "version": repro.__version__})
+            elif parts == ["metrics"]:
+                self._send_text(
+                    200, self.service.render_metrics(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif parts == ["runs"]:
+                records = self.service.registry.list()
+                self._send_json(200, {"runs": [record.summary() for record in records]})
+            elif len(parts) == 2 and parts[0] == "runs":
+                record = self.service.registry.get(parts[1])
+                if record is None:
+                    self._send_error_json(404, f"unknown run {parts[1]!r}")
+                else:
+                    self._send_json(200, record.detail())
+            elif len(parts) == 3 and parts[0] == "runs" and parts[2] == "events":
+                record = self.service.registry.get(parts[1])
+                if record is None:
+                    self._send_error_json(404, f"unknown run {parts[1]!r}")
+                else:
+                    self._stream_events(record, url.query)
+            elif parts == ["artifacts"]:
+                self._send_json(200, {"keys": self.service.sink.keys()})
+            elif len(parts) == 2 and parts[0] == "artifacts":
+                artifact = self.service.sink.artifact(parts[1])
+                if artifact is None:
+                    self._send_error_json(404, f"unknown artifact {parts[1]!r}")
+                else:
+                    self._send_json(200, artifact)
+            else:
+                self._send_error_json(404, f"no such resource: {url.path}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self.service.metrics.increment("http_requests")
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts != ["runs"]:
+            self._send_error_json(404, f"no such resource: {url.path}")
+            return
+        try:
+            scenarios = parse_scenarios(self._read_body_json())
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        try:
+            record = self.service.submit(scenarios)
+        except ServiceClosed as error:
+            self._send_error_json(503, str(error))
+            return
+        self._send_json(202, record.summary())
+
+    def _method_not_allowed(self) -> None:
+        self.service.metrics.increment("http_requests")
+        self._send_error_json(405, f"method {self.command} not allowed")
+
+    do_PUT = _method_not_allowed
+    do_DELETE = _method_not_allowed
+    do_PATCH = _method_not_allowed
+
+    # -- SSE -----------------------------------------------------------------
+
+    def _stream_events(self, record, query: str) -> None:
+        start = 0
+        params = parse_qs(query)
+        if "from" in params:
+            try:
+                start = int(params["from"][0])
+            except (TypeError, ValueError):
+                self._send_error_json(400, "'from' must be an integer sequence number")
+                return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-store")
+        # No Content-Length: the body length is unknowable, so this response
+        # must be the connection's last (HTTP/1.1 framing).
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for event in record.stream.subscribe(start=start,
+                                                 heartbeat=SSE_HEARTBEAT_SECONDS):
+                if event is None:
+                    self.wfile.write(b": keep-alive\n\n")
+                else:
+                    data = dumps_strict(event)
+                    frame = (
+                        f"id: {event['seq']}\n"
+                        f"event: {event.get('kind', 'message')}\n"
+                        f"data: {data}\n\n"
+                    )
+                    self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # subscriber disconnected; the stream itself is unaffected
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "RequestHandler",
+    "SSE_HEARTBEAT_SECONDS",
+    "ServiceHTTPServer",
+    "create_server",
+]

@@ -1,0 +1,129 @@
+"""Service-wide counters and their Prometheus text exposition.
+
+:class:`ServiceMetrics` aggregates two layers of accounting:
+
+* **service counters** — runs submitted/completed/failed, events
+  emitted/dropped across all streams, HTTP requests served;
+* **execution counters** — the sum of every finished run's
+  :class:`repro.execution.ExecutionReport` (retries, timeouts, pool
+  respawns, cache hits, ...), so the operational anomalies the executor
+  already tracks per run become scrapeable fleet-wide totals.
+
+:func:`render_prometheus` emits the standard text exposition format
+(``# HELP`` / ``# TYPE`` preamble, ``name value`` samples, ``_total``
+suffix on counters) that the ``GET /metrics`` endpoint serves.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple, Union
+
+from repro.execution.report import ExecutionReport
+
+#: Service counter names and their Prometheus HELP strings.
+COUNTER_HELP: Dict[str, str] = {
+    "runs_submitted": "Runs accepted via POST /runs.",
+    "runs_completed": "Runs that finished with every point ok and all checks passed.",
+    "runs_failed": "Runs that finished with an error, failed points or failed checks.",
+    "events_emitted": "Events published across all run event streams.",
+    "events_dropped": "Events evicted from bounded stream buffers (lost to replay).",
+    "http_requests": "HTTP requests handled (any route, any status).",
+}
+
+#: HELP strings for the aggregated ExecutionReport counters.
+EXECUTION_HELP: Dict[str, str] = {
+    "items": "Work items handed to the supervised executor (cache hits excluded).",
+    "succeeded": "Items that produced a payload, possibly after retries.",
+    "failures": "Items whose retry attempts were exhausted.",
+    "retries": "Re-submissions scheduled after a failed or interrupted attempt.",
+    "timeouts": "Per-item wall-clock deadline expiries.",
+    "pool_respawns": "Broken or wedged worker pools torn down and respawned.",
+    "serial_fallbacks": "Degradations to the in-process serial fallback.",
+    "cache_hits": "Pipeline points served from the artifact store.",
+    "cache_corruption": "Cached artifacts rejected on payload checksum mismatch.",
+}
+
+#: HELP strings for the point-in-time gauges.
+GAUGE_HELP: Dict[str, str] = {
+    "queue_depth": "Runs waiting in the worker queue.",
+    "runs_running": "Runs currently executing.",
+    "worker_threads": "Worker threads in the run-execution pool.",
+}
+
+
+class ServiceMetrics:
+    """Thread-safe counter store for one :class:`ExperimentService`."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_HELP}
+        self._execution = ExecutionReport()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named service counter."""
+        with self._lock:
+            if name not in self._counters:
+                raise KeyError(f"unknown service counter {name!r}")
+            self._counters[name] += amount
+
+    def merge_execution(self, report: ExecutionReport) -> None:
+        """Fold one run's :class:`ExecutionReport` into the service total."""
+        with self._lock:
+            self._execution.merge(report)
+
+    def counters(self) -> Dict[str, int]:
+        """A copy of the service counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def execution(self) -> ExecutionReport:
+        """A copy of the aggregated execution report."""
+        with self._lock:
+            return self._execution.copy()
+
+    def as_dict(self) -> Dict[str, Union[int, Dict[str, int]]]:
+        """JSON-ready snapshot: service counters plus the execution totals."""
+        with self._lock:
+            document: Dict[str, Union[int, Dict[str, int]]] = dict(self._counters)
+            document["execution"] = self._execution.as_dict()
+            return document
+
+
+def render_prometheus(
+    counters: Dict[str, int],
+    execution: ExecutionReport,
+    gauges: Dict[str, Union[int, float]],
+) -> str:
+    """Render the metrics as Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+
+    def sample(name: str, help_text: str, kind: str, value: Union[int, float]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {value}")
+
+    ordered: List[Tuple[str, int]] = [
+        (name, counters.get(name, 0)) for name in COUNTER_HELP
+    ]
+    for name, value in ordered:
+        sample(f"repro_{name}_total", COUNTER_HELP[name], "counter", value)
+    for name, help_text in EXECUTION_HELP.items():
+        sample(
+            f"repro_execution_{name}_total",
+            help_text,
+            "counter",
+            getattr(execution, name),
+        )
+    for name, help_text in GAUGE_HELP.items():
+        sample(f"repro_{name}", help_text, "gauge", gauges.get(name, 0))
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "COUNTER_HELP",
+    "EXECUTION_HELP",
+    "GAUGE_HELP",
+    "ServiceMetrics",
+    "render_prometheus",
+]

@@ -1,0 +1,153 @@
+"""Run bookkeeping: records, lifecycle states, and the thread-safe registry.
+
+A *run* is one submitted batch of scenarios travelling through the service:
+
+    queued ──▶ running ──▶ completed
+                      └──▶ failed
+
+Each :class:`RunRecord` owns the run's :class:`repro.service.events.EventStream`
+(the SSE feed) and, once finished, the JSON result document.  The
+:class:`RunRegistry` hands out stable ids (``run-000001``, ...) and answers
+the ``GET /runs`` listing; both are safe to touch from HTTP handler threads
+and worker threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.scenarios.scenario import Scenario
+from repro.service.events import EventStream
+
+#: The legal lifecycle states, in order of appearance.
+RUN_STATES = ("queued", "running", "completed", "failed")
+
+#: States in which a run will make no further progress.
+TERMINAL_STATES = ("completed", "failed")
+
+
+class RunRecord:
+    """One submitted run: scenarios, lifecycle state, event stream, result."""
+
+    def __init__(
+        self,
+        run_id: str,
+        scenarios: Sequence[Scenario],
+        stream: EventStream,
+    ):
+        self.id = run_id
+        self.scenarios = list(scenarios)
+        self.stream = stream
+        self._lock = threading.Lock()
+        self._state = "queued"
+        self._error: Optional[str] = None
+        self._result: Optional[Dict[str, Any]] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -- state transitions (called by the owning worker) ---------------------
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self._state = "running"
+            self.started_at = time.time()
+
+    def mark_completed(self, result: Dict[str, Any]) -> None:
+        with self._lock:
+            self._state = "completed"
+            self._result = result
+            self.finished_at = time.time()
+
+    def mark_failed(self, error: str, result: Optional[Dict[str, Any]] = None) -> None:
+        with self._lock:
+            self._state = "failed"
+            self._error = error
+            self._result = result
+            self.finished_at = time.time()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def error(self) -> Optional[str]:
+        with self._lock:
+            return self._error
+
+    @property
+    def result(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._result
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the run reaches a terminal state (stream closed)."""
+        return self.stream.wait_closed(timeout=timeout)
+
+    def summary(self) -> Dict[str, Any]:
+        """The ``GET /runs`` listing entry."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "state": self._state,
+                "scenarios": [scenario.label for scenario in self.scenarios],
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "error": self._error,
+                "events": len(self.stream),
+            }
+
+    def detail(self) -> Dict[str, Any]:
+        """The ``GET /runs/{id}`` document: summary plus the result payload."""
+        document = self.summary()
+        with self._lock:
+            document["result"] = self._result
+        document["events_dropped"] = self.stream.dropped
+        return document
+
+
+class RunRegistry:
+    """Thread-safe, insertion-ordered store of every run the service has seen."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._runs: Dict[str, RunRecord] = {}
+        self._counter = 0
+
+    def create(self, scenarios: Sequence[Scenario], stream: EventStream) -> RunRecord:
+        with self._lock:
+            self._counter += 1
+            run_id = f"run-{self._counter:06d}"
+            record = RunRecord(run_id, scenarios, stream)
+            self._runs[run_id] = record
+            return record
+
+    def get(self, run_id: str) -> Optional[RunRecord]:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def list(self) -> List[RunRecord]:
+        """All runs, oldest first."""
+        with self._lock:
+            return list(self._runs.values())
+
+    def count_in_state(self, state: str) -> int:
+        with self._lock:
+            return sum(1 for record in self._runs.values() if record.state == state)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._runs)
+
+
+__all__ = ["RUN_STATES", "RunRecord", "RunRegistry", "TERMINAL_STATES"]

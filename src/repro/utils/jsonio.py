@@ -1,0 +1,35 @@
+"""Strict-JSON emission helpers shared by the CLI and the HTTP service.
+
+Python's ``json`` writer happily emits bare ``Infinity``/``NaN`` literals
+(e.g. E3's ``Tabs_if_reached`` column), which non-Python consumers reject.
+Every document that leaves the process — CLI ``--json`` output, service
+response bodies, SSE event data — goes through :func:`finite_json` first so
+the wire format is valid RFC-8259 JSON everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+
+def finite_json(value: Any) -> Any:
+    """Replace non-finite floats with the strings ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"``."""
+    if isinstance(value, dict):
+        return {key: finite_json(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [finite_json(inner) for inner in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def dumps_strict(document: Any, **kwargs) -> str:
+    """``json.dumps`` of :func:`finite_json`, guaranteed RFC-8259 valid."""
+    return json.dumps(finite_json(document), allow_nan=False, **kwargs)
+
+
+__all__ = ["dumps_strict", "finite_json"]

@@ -35,10 +35,12 @@ EXPECTED_ALL = [
     "RunObserver",
     "RunResult",
     "RunSpec",
+    "StructuredObserver",
     "SweepFrame",
     "TrialSet",
     "bind_point",
     "evaluate_checks",
+    "event_to_dict",
     "payload_checksum",
     "run",
     "sweep_scenario",
@@ -119,6 +121,9 @@ class TestSignatureSnapshot:
     def test_result_sink_interface_frozen(self):
         assert _params(api.ResultSink.load) == ["self", "key", "spec"]
         assert _params(api.ResultSink.store) == ["self", "key", "spec", "kind", "payload"]
+        assert _params(api.ResultSink.keys) == ["self"]
+        assert _params(api.ResultSink.artifact) == ["self", "key"]
+        assert _params(api.ResultSink.__contains__) == ["self", "key"]
 
     def test_results_expose_as_dict(self):
         for result_type in (api.RunResult, api.TrialSet, api.SweepFrame):

@@ -1,0 +1,374 @@
+"""HTTP-layer tests for ``repro serve``: real sockets, real SSE, real chaos.
+
+Each test binds a :class:`ServiceHTTPServer` on an ephemeral port and talks
+to it with ``urllib`` — the same client surface the README documents with
+curl.  Coverage required by the service contract:
+
+* endpoint response schemas (health, version, submit, listing, detail,
+  artifacts, metrics) and the 400/404/405/503 error paths;
+* SSE event ordering pinned against an :class:`repro.api.EventLog` of the
+  same point — the stream *is* the observer protocol, serialized;
+* concurrent submissions all completing with consistent accounting;
+* a ``REPRO_CHAOS`` run whose ``/metrics`` execution counters match the
+  run's own :class:`ExecutionReport` exactly;
+* graceful shutdown draining queued runs;
+* one end-to-end ``repro serve`` subprocess smoke (announce line, request,
+  SIGINT shutdown).
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api import EventLog, bind_point, event_to_dict
+from repro.execution.policy import RetryPolicy
+from repro.scenarios.scenario import Scenario
+from repro.service import ExperimentService, ServiceConfig, create_server
+
+WAIT = 90
+
+#: A Prometheus text-format sample line: ``metric_name value``.
+SAMPLE_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]* -?[0-9.eE+]+$")
+
+
+def scenario_body(label="http", n=16, trials=2, seed=0, **extra):
+    return {
+        "label": label,
+        "kind": "trials",
+        "network": "clique",
+        "params": {"n": n},
+        "trials": trials,
+        "seed": seed,
+        **extra,
+    }
+
+
+class Client:
+    """Tiny urllib wrapper returning ``(status, parsed_body)``."""
+
+    def __init__(self, base):
+        self.base = base
+
+    def get(self, path, timeout=30):
+        with urllib.request.urlopen(self.base + path, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def get_text(self, path, timeout=30):
+        with urllib.request.urlopen(self.base + path, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8")
+
+    def post(self, path, document, timeout=30):
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def sse_events(self, path, timeout=60):
+        """Collect a run's full SSE feed as parsed ``data:`` documents."""
+        events = []
+        with urllib.request.urlopen(self.base + path, timeout=timeout) as resp:
+            assert resp.headers["Content-Type"].startswith("text/event-stream")
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith("data: "):
+                    events.append(json.loads(line[len("data: "):]))
+        return events
+
+    def wait_terminal(self, run_id, timeout=WAIT):
+        """Follow the SSE feed to completion, then return the run detail."""
+        self.sse_events(f"/runs/{run_id}/events", timeout=timeout)
+        return self.get(f"/runs/{run_id}")[1]
+
+
+@pytest.fixture
+def served():
+    """A live server on an ephemeral port; yields ``(client, service)``."""
+    service = ExperimentService(ServiceConfig(workers=2))
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = Client(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield client, service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(drain=False, timeout=30)
+
+
+class TestEndpointSchemas:
+    def test_healthz_and_version(self, served):
+        client, _ = served
+        assert client.get("/healthz") == (200, {"status": "ok"})
+        status, version = client.get("/version")
+        assert status == 200
+        assert version["service"] == "repro"
+        assert re.fullmatch(r"\d+\.\d+\.\d+", version["version"])
+
+    def test_submit_list_detail_round_trip(self, served):
+        client, _ = served
+        status, submitted = client.post("/runs", scenario_body())
+        assert status == 202
+        assert submitted["id"].startswith("run-")
+        assert submitted["state"] in ("queued", "running")
+        assert submitted["scenarios"] == ["http"]
+
+        detail = client.wait_terminal(submitted["id"])
+        assert detail["state"] == "completed" and detail["error"] is None
+        assert detail["result"]["all_passed"] is True
+        (point,) = detail["result"]["points"]
+        assert point["status"] == "ok"
+        assert set(point) >= {"label", "value", "index", "key", "cached",
+                              "status", "error", "attempts", "checksum", "summary"}
+
+        status, listing = client.get("/runs")
+        assert status == 200
+        assert [run["id"] for run in listing["runs"]] == [submitted["id"]]
+        assert listing["runs"][0]["state"] == "completed"
+
+    def test_artifact_served_by_content_hash(self, served):
+        client, _ = served
+        _, submitted = client.post("/runs", scenario_body(label="artifacts"))
+        detail = client.wait_terminal(submitted["id"])
+        (point,) = detail["result"]["points"]
+
+        status, keys = client.get("/artifacts")
+        assert status == 200 and point["key"] in keys["keys"]
+
+        status, artifact = client.get(f"/artifacts/{point['key']}")
+        assert status == 200
+        assert sorted(artifact) == ["checksum", "key", "kind", "payload", "spec"]
+        assert artifact["key"] == point["key"]
+        assert artifact["checksum"] == point["checksum"]
+        assert artifact["payload"]["summary"] == point["summary"]
+
+    def test_metrics_parse_as_prometheus_text(self, served):
+        client, _ = served
+        _, submitted = client.post("/runs", scenario_body(label="metrics"))
+        client.wait_terminal(submitted["id"])
+        status, text = client.get_text("/metrics")
+        assert status == 200
+        lines = text.strip().splitlines()
+        samples = {}
+        for line in lines:
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            assert SAMPLE_RE.fullmatch(line), f"bad sample line: {line!r}"
+            name, value = line.split()
+            samples[name] = float(value)
+        assert samples["repro_runs_submitted_total"] == 1
+        assert samples["repro_runs_completed_total"] == 1
+        assert samples["repro_execution_succeeded_total"] == 1
+        assert samples["repro_worker_threads"] == 2
+        assert samples["repro_http_requests_total"] >= 3
+
+    def test_error_paths(self, served):
+        client, _ = served
+        cases = [
+            ("GET", "/runs/run-999999", 404),
+            ("GET", "/artifacts/deadbeef", 404),
+            ("GET", "/runs/run-999999/events", 404),
+            ("GET", "/nope", 404),
+            ("POST", "/nope", 404),
+        ]
+        for method, path, expected in cases:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                if method == "GET":
+                    client.get(path)
+                else:
+                    client.post(path, {})
+            assert excinfo.value.code == expected
+            body = json.loads(excinfo.value.read())
+            assert body["status"] == expected and body["error"]
+
+    def test_bad_submissions_are_400(self, served):
+        client, _ = served
+        bad_bodies = [
+            {"scenarios": []},
+            {"label": "x", "bogus_field": 1},
+            ["not", "scenarios"],
+        ]
+        for document in bad_bodies:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                client.post("/runs", document)
+            assert excinfo.value.code == 400
+        # invalid JSON body
+        request = urllib.request.Request(
+            client.base + "/runs", data=b"{not json", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_method_not_allowed(self, served):
+        client, _ = served
+        request = urllib.request.Request(client.base + "/runs", method="DELETE")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 405
+
+
+class TestEventStreaming:
+    def test_sse_ordering_matches_event_log(self, served):
+        """The wire feed replays the observer protocol in EventLog order."""
+        client, _ = served
+        body = scenario_body(label="sse", seed=11)
+        _, submitted = client.post("/runs", body)
+        events = client.sse_events(f"/runs/{submitted['id']}/events")
+
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        states = [event["state"] for event in events if event["kind"] == "state"]
+        assert states[0] == "queued" and states[-1] == "completed"
+
+        engine_events = [
+            {key: value for key, value in event.items() if key != "seq"}
+            for event in events if event["kind"] not in ("state", "result")
+        ]
+        log = EventLog()
+        point = Scenario.from_dict(body).points()[0]
+        bind_point(point, max_time=None).observe(log).collect()
+        assert engine_events == [event_to_dict(event) for event in log.events]
+
+    def test_late_subscriber_replays_full_stream(self, served):
+        client, _ = served
+        _, submitted = client.post("/runs", scenario_body(label="late"))
+        first = client.sse_events(f"/runs/{submitted['id']}/events")
+        # the run is long finished; a second subscriber gets the same replay
+        second = client.sse_events(f"/runs/{submitted['id']}/events")
+        assert second == first
+        # and ?from= resumes mid-stream
+        tail = client.sse_events(f"/runs/{submitted['id']}/events?from={first[2]['seq']}")
+        assert tail == first[2:]
+
+    def test_concurrent_submissions_all_complete(self, served):
+        client, service = served
+        count = 6
+        submitted = []
+        errors = []
+
+        def submit(index):
+            try:
+                _, doc = client.post(
+                    "/runs", scenario_body(label=f"conc-{index}", seed=index))
+                submitted.append(doc["id"])
+            except Exception as error:  # noqa: BLE001 - collected for assertion
+                errors.append(error)
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == [] and len(set(submitted)) == count
+
+        details = [client.wait_terminal(run_id) for run_id in submitted]
+        assert all(detail["state"] == "completed" for detail in details)
+        counters = service.metrics.counters()
+        assert counters["runs_submitted"] == count
+        assert counters["runs_completed"] == count
+        _, listing = client.get("/runs")
+        assert len(listing["runs"]) == count
+
+
+class TestChaosMetrics:
+    def test_chaos_run_metrics_match_execution_report(self, monkeypatch):
+        """Under REPRO_CHAOS, /metrics mirrors the run's ExecutionReport."""
+        monkeypatch.setenv("REPRO_CHAOS", "raise=0.4,seed=2")
+        service = ExperimentService(ServiceConfig(
+            workers=1,
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.001, backoff_max=0.001),
+        ))
+        server = create_server(service, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = Client(f"http://127.0.0.1:{server.server_address[1]}")
+        try:
+            body = scenario_body(label="chaos", trials=1, sweep=[8, 12, 16, 20],
+                                 sweep_name="n", params={})
+            _, submitted = client.post("/runs", body)
+            detail = client.wait_terminal(submitted["id"])
+            execution = detail["result"]["execution"]
+            # the chaos monkey must actually have bitten this run
+            assert execution["retries"] + execution["failures"] > 0
+
+            _, text = client.get_text("/metrics")
+            samples = {
+                line.split()[0]: float(line.split()[1])
+                for line in text.splitlines() if not line.startswith("#")
+            }
+            for name, value in execution.items():
+                assert samples[f"repro_execution_{name}_total"] == value, name
+            expected_state = "completed" if detail["result"]["all_passed"] else "failed"
+            assert detail["state"] == expected_state
+            assert samples[f"repro_runs_{expected_state}_total"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown(drain=False, timeout=30)
+
+
+class TestShutdownDrain:
+    def test_graceful_shutdown_drains_queue_and_rejects_new_runs(self):
+        service = ExperimentService(ServiceConfig(workers=1))
+        server = create_server(service, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = Client(f"http://127.0.0.1:{server.server_address[1]}")
+        try:
+            ids = [client.post("/runs", scenario_body(label=f"drain-{i}", seed=i))[1]["id"]
+                   for i in range(3)]
+            service.shutdown(drain=True, timeout=WAIT)
+            # everything queued before shutdown ran to completion
+            for run_id in ids:
+                _, detail = client.get(f"/runs/{run_id}")
+                assert detail["state"] == "completed"
+            # the HTTP layer now refuses new work with 503
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                client.post("/runs", scenario_body(label="rejected"))
+            assert excinfo.value.code == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestServeCommand:
+    def test_serve_subprocess_end_to_end(self, tmp_path):
+        """`repro serve` announces its port, serves a run, exits on SIGINT."""
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--cache-dir", str(tmp_path / "cache")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            cwd=str(Path(__file__).resolve().parent.parent),
+            env={**__import__("os").environ,
+                 "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+            text=True,
+        )
+        try:
+            announce = process.stdout.readline().strip()
+            match = re.search(r"http://([\d.]+):(\d+)", announce)
+            assert match, f"unexpected announce line: {announce!r}"
+            client = Client(f"http://{match.group(1)}:{match.group(2)}")
+            assert client.get("/healthz")[1] == {"status": "ok"}
+            _, submitted = client.post("/runs", scenario_body(label="cli", trials=1))
+            detail = client.wait_terminal(submitted["id"])
+            assert detail["state"] == "completed"
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+        assert process.returncode == 0

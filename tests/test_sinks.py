@@ -1,0 +1,156 @@
+"""Result-sink enumeration, artifact retrieval, and crash-safe writes.
+
+The service's ``GET /artifacts`` endpoints lean on three additions to the
+sink interface — ``keys()``, ``__contains__`` and ``artifact(key)`` — and on
+``LocalDirSink.store`` never leaving a torn artifact behind, no matter when
+a writer dies.  These tests pin all of that down for every built-in sink.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.api.sinks import (
+    LocalDirSink,
+    MemorySink,
+    NullSink,
+    payload_checksum,
+)
+
+SPEC = {"scenario": {"label": "s"}, "value": 8}
+PAYLOAD = {"summary": {"mean": 1.5, "trials": 3}}
+
+
+def filled(sink, count=3):
+    for index in range(count):
+        sink.store(f"key-{index}", {**SPEC, "value": index}, "trials", PAYLOAD)
+    return sink
+
+
+class TestEnumeration:
+    def test_null_sink_is_always_empty(self):
+        sink = NullSink()
+        sink.store("key-0", SPEC, "trials", PAYLOAD)
+        assert sink.keys() == []
+        assert "key-0" not in sink
+        assert sink.artifact("key-0") is None
+
+    def test_memory_sink_keys_sorted_and_contains(self):
+        sink = filled(MemorySink())
+        assert sink.keys() == ["key-0", "key-1", "key-2"]
+        assert "key-1" in sink and "key-9" not in sink
+
+    def test_local_dir_sink_keys_sorted_and_contains(self, tmp_path):
+        sink = filled(LocalDirSink(tmp_path))
+        assert sink.keys() == ["key-0", "key-1", "key-2"]
+        assert "key-2" in sink and "missing" not in sink
+
+    def test_local_dir_sink_keys_on_missing_directory(self, tmp_path):
+        sink = LocalDirSink(tmp_path / "never-created")
+        assert sink.keys() == []
+        assert "anything" not in sink
+
+
+class TestArtifactRetrieval:
+    @pytest.mark.parametrize(
+        "make_sink",
+        [lambda tmp: MemorySink(), lambda tmp: LocalDirSink(tmp)],
+        ids=["memory", "localdir"],
+    )
+    def test_artifact_round_trip(self, tmp_path, make_sink):
+        sink = filled(make_sink(tmp_path), count=1)
+        artifact = sink.artifact("key-0")
+        assert sorted(artifact) == ["checksum", "key", "kind", "payload", "spec"]
+        assert artifact["key"] == "key-0"
+        assert artifact["kind"] == "trials"
+        assert artifact["payload"] == PAYLOAD
+        assert artifact["checksum"] == payload_checksum(PAYLOAD)
+        assert sink.artifact("missing") is None
+
+    def test_memory_artifact_is_a_copy(self):
+        sink = filled(MemorySink(), count=1)
+        sink.artifact("key-0")["payload"]["summary"]["mean"] = 999.0
+        assert sink.artifact("key-0")["payload"] == PAYLOAD
+
+    def test_local_dir_artifact_ignores_torn_file(self, tmp_path):
+        sink = LocalDirSink(tmp_path)
+        (tmp_path / "torn.json").write_text('{"key": "torn", "pay', encoding="utf-8")
+        assert sink.artifact("torn") is None
+        assert "torn" in sink.keys()  # present on disk, just not servable
+
+
+class TestCrashSafeStore:
+    def test_mid_write_kill_leaves_no_torn_artifact(self, tmp_path, monkeypatch):
+        """A writer dying mid-write must not corrupt the target artifact."""
+        sink = LocalDirSink(tmp_path)
+        sink.store("key-0", SPEC, "trials", PAYLOAD)
+        before = sink.artifact("key-0")
+
+        real_dump = json.dump
+
+        def dying_dump(obj, handle, **kwargs):
+            handle.write('{"key": "key-0", "payl')  # partial bytes hit the temp file
+            handle.flush()
+            raise KeyboardInterrupt("simulated kill mid-write")
+
+        monkeypatch.setattr("repro.api.sinks.json.dump", dying_dump)
+        with pytest.raises(KeyboardInterrupt):
+            sink.store("key-0", SPEC, "trials", {"summary": {"mean": 9.0}})
+        monkeypatch.setattr("repro.api.sinks.json.dump", real_dump)
+
+        # The previous artifact is intact and no temp litter remains.
+        assert sink.artifact("key-0") == before
+        assert sink.load("key-0", SPEC) == PAYLOAD
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_mid_write_kill_on_first_write_leaves_target_absent(
+        self, tmp_path, monkeypatch
+    ):
+        sink = LocalDirSink(tmp_path)
+
+        def dying_dump(obj, handle, **kwargs):
+            handle.write("{")
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr("repro.api.sinks.json.dump", dying_dump)
+        with pytest.raises(RuntimeError):
+            sink.store("key-0", SPEC, "trials", PAYLOAD)
+        assert not (tmp_path / "key-0.json").exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert sink.keys() == []
+
+    def test_concurrent_writers_and_readers_never_observe_torn_state(self, tmp_path):
+        """Hammer one key from many writer threads while readers verify."""
+        sink = LocalDirSink(tmp_path)
+        stop = threading.Event()
+        problems = []
+
+        def writer(worker):
+            for round_ in range(20):
+                payload = {"summary": {"mean": float(worker * 100 + round_)}}
+                sink.store("shared", SPEC, "trials", payload)
+
+        def reader():
+            while not stop.is_set():
+                artifact = sink.artifact("shared")
+                if artifact is None:
+                    continue  # not yet written
+                payload = artifact.get("payload")
+                if artifact.get("checksum") != payload_checksum(payload):
+                    problems.append(artifact)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+        assert problems == []
+        final = sink.artifact("shared")
+        assert final["checksum"] == payload_checksum(final["payload"])
+        assert list(tmp_path.glob("*.tmp")) == []
