@@ -2,18 +2,19 @@
 """The README "Experiment service" walkthrough, runnable end to end.
 
 Starts the HTTP service in-process on an ephemeral port, then does exactly
-what the curl transcript in the README does: submit a scenario, follow the
-SSE event feed to completion, fetch the run's artifact by content hash, and
-scrape ``/metrics``.  CI executes this script (the ``examples-smoke`` job),
-so the README's service snippets can never silently rot.  Run with::
+what the README transcript does — submit a scenario, follow the SSE event
+feed to completion, fetch the run's artifact by content hash, and scrape
+``/metrics`` — through the typed :class:`repro.api.ServiceClient` instead of
+hand-rolled ``urllib`` calls.  CI executes this script (the
+``examples-smoke`` job), so the README's service snippets can never silently
+rot.  Run with::
 
     PYTHONPATH=src python examples/serve_demo.py
 """
 
-import json
 import threading
-import urllib.request
 
+from repro.api import ServiceClient
 from repro.service import ExperimentService, ServiceConfig, create_server
 
 SCENARIO = {
@@ -32,45 +33,30 @@ def main() -> None:
     threading.Thread(target=server.serve_forever, daemon=True).start()
     base = f"http://127.0.0.1:{server.server_address[1]}"
     print(f"service listening on {base}")
+    client = ServiceClient(base)
 
     # 1. submit a run (POST /runs, 202 accepted)
-    request = urllib.request.Request(
-        f"{base}/runs",
-        data=json.dumps(SCENARIO).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    with urllib.request.urlopen(request, timeout=30) as response:
-        submitted = json.loads(response.read())
+    submitted = client.submit(SCENARIO)
     print(f"submitted {submitted['id']} (state={submitted['state']})")
 
     # 2. stream its events (GET /runs/{id}/events, Server-Sent-Events)
     counts = {}
-    with urllib.request.urlopen(
-        f"{base}/runs/{submitted['id']}/events", timeout=60
-    ) as response:
-        for raw in response:
-            line = raw.decode("utf-8").rstrip("\n")
-            if line.startswith("data: "):
-                event = json.loads(line[len("data: "):])
-                counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+    for event in client.events(submitted["id"], timeout=60):
+        counts[event["kind"]] = counts.get(event["kind"], 0) + 1
     print(f"streamed events: {counts}")
     assert counts["state"] >= 3 and counts.get("trial", 0) == 3
 
     # 3. read the finished run and fetch its artifact by content hash
-    with urllib.request.urlopen(f"{base}/runs/{submitted['id']}", timeout=30) as response:
-        detail = json.loads(response.read())
+    detail = client.run(submitted["id"])
     assert detail["state"] == "completed", detail
     point = detail["result"]["points"][0]
-    with urllib.request.urlopen(f"{base}/artifacts/{point['key']}", timeout=30) as response:
-        artifact = json.loads(response.read())
+    artifact = client.artifact(point["key"])
     assert artifact["checksum"] == point["checksum"]
     print(f"artifact {point['key'][:12]}… mean spread time "
           f"{artifact['payload']['summary']['mean']:.2f}")
 
     # 4. scrape the Prometheus metrics
-    with urllib.request.urlopen(f"{base}/metrics", timeout=30) as response:
-        metrics = response.read().decode("utf-8")
+    metrics = client.metrics()
     interesting = [line for line in metrics.splitlines()
                    if line.startswith(("repro_runs_", "repro_execution_items",
                                        "repro_execution_succeeded"))]

@@ -38,6 +38,12 @@ from repro.api.builder import (
     run,
     sweep_scenario,
 )
+from repro.api.client import (
+    DEFAULT_STREAM_TIMEOUT,
+    DEFAULT_TIMEOUT,
+    ServiceClient,
+    ServiceError,
+)
 from repro.api.observers import (
     CIWidthRule,
     EventLog,
@@ -53,6 +59,7 @@ from repro.api.sinks import (
     NullSink,
     ResultSink,
     payload_checksum,
+    sink_from_url,
 )
 from repro.checks import Check, CheckReport, CheckResult, evaluate_checks
 from repro.execution import ChaosMonkey, ExecutionReport, RetryPolicy
@@ -76,6 +83,8 @@ __all__ = [
     "RunObserver",
     "RunResult",
     "RunSpec",
+    "ServiceClient",
+    "ServiceError",
     "StructuredObserver",
     "SweepFrame",
     "TrialSet",
@@ -84,5 +93,6 @@ __all__ = [
     "event_to_dict",
     "payload_checksum",
     "run",
+    "sink_from_url",
     "sweep_scenario",
 ]

@@ -12,9 +12,11 @@ content-addressed keys make that store a clean interface instead.  A
 
 Built-in sinks: :class:`LocalDirSink` (one JSON file per key in a directory —
 the pipeline's historical cache, plus a ``checksum`` field), :class:`MemorySink`
-(a dict, for tests and composition) and :class:`NullSink` (never stores
-anything).  A shared artifact store for cross-machine reuse (see ROADMAP) is
-another ``ResultSink`` implementation away.
+(a dict, for tests and composition), :class:`NullSink` (never stores
+anything) and :class:`repro.distributed.HttpSink` (a shared store served by
+a remote ``repro serve`` process).  :func:`sink_from_url` constructs any of
+them from one ``scheme://`` string — the form the CLI's ``--sink`` flag
+takes.
 
 Checksum format: ``"sha256:<hex>"`` over the canonical JSON encoding of the
 payload (``json.dumps(payload, sort_keys=True, allow_nan=True)``).  Artifacts
@@ -226,4 +228,55 @@ class LocalDirSink(ResultSink):
             raise
 
 
-__all__ = ["LocalDirSink", "MemorySink", "NullSink", "ResultSink", "payload_checksum"]
+def sink_from_url(url: Union[str, Path]) -> ResultSink:
+    """Construct a sink from a URL — the CLI's ``--sink`` flag semantics.
+
+    ============================  ===========================================
+    URL                           Sink
+    ============================  ===========================================
+    ``file:///var/cache/repro``   :class:`LocalDirSink` on that directory
+    ``memory://``                 a fresh in-process :class:`MemorySink`
+    ``null://``                   :class:`NullSink` (caching disabled)
+    ``http://host:1234``          :class:`repro.distributed.HttpSink` against
+                                  that service (``https://`` likewise)
+    ``some/plain/path``           :class:`LocalDirSink` (no scheme = a
+                                  directory path, matching ``--cache-dir``)
+    ============================  ===========================================
+
+    Anything else raises ``ValueError``.
+    """
+    if isinstance(url, Path):
+        return LocalDirSink(url)
+    text = str(url)
+    if "://" not in text:
+        return LocalDirSink(text)
+    scheme, _, rest = text.partition("://")
+    scheme = scheme.lower()
+    if scheme == "memory":
+        return MemorySink()
+    if scheme == "null":
+        return NullSink()
+    if scheme == "file":
+        if not rest:
+            raise ValueError("file:// sink URL needs a directory path")
+        return LocalDirSink(rest)
+    if scheme in ("http", "https"):
+        # Imported lazily: repro.distributed sits above repro.api in the
+        # layering, so the base sink module cannot import it at load time.
+        from repro.distributed.http_sink import HttpSink
+
+        return HttpSink(text)
+    raise ValueError(
+        f"unknown sink URL scheme {scheme!r} in {text!r} "
+        "(expected file://, memory://, null://, http:// or https://)"
+    )
+
+
+__all__ = [
+    "LocalDirSink",
+    "MemorySink",
+    "NullSink",
+    "ResultSink",
+    "payload_checksum",
+    "sink_from_url",
+]

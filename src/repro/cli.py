@@ -31,6 +31,14 @@ Subcommands:
     Inspect the network registry and per-experiment scenario tables, or
     execute a scenario file (a JSON scenario object, list, or
     ``{"scenarios": [...]}`` document) through the pipeline.
+
+``python -m repro serve [--coordinator]`` / ``python -m repro worker``
+    Run the HTTP experiment service — optionally as a distributed
+    coordinator handing out point leases — and the worker loop that
+    executes leased points against it.  Every pipeline command accepts
+    ``--sink URL`` (``file://``, ``memory://``, ``http://host:port``) to
+    choose the artifact store; ``http://`` shares a running service's store
+    across machines.
 """
 
 from __future__ import annotations
@@ -95,8 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for scenario-point parallelism (1 = serial)",
         )
         sub.add_argument(
+            "--sink", default=None, metavar="URL",
+            help="artifact store URL: file://DIR (or a plain directory path), "
+            "memory://, null://, or http://HOST:PORT for the shared store of "
+            f"a running 'repro serve' (default: {default_cache_dir()!r})",
+        )
+        sub.add_argument(
             "--cache-dir", default=None, metavar="DIR",
-            help=f"JSON artifact cache directory (default: {default_cache_dir()!r})",
+            help="deprecated alias for --sink file://DIR",
         )
         sub.add_argument(
             "--no-cache", action="store_true",
@@ -234,8 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-run point parallelism (1 keeps engine events streamable)",
     )
     serve_parser.add_argument(
+        "--sink", default=None, metavar="URL",
+        help="artifact store URL (file://DIR, memory://, ...; default: the "
+        "pipeline's default cache dir)",
+    )
+    serve_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
-        help="artifact store directory (default: the pipeline's default cache dir)",
+        help="deprecated alias for --sink file://DIR",
     )
     serve_parser.add_argument(
         "--no-cache", action="store_true",
@@ -244,6 +263,51 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-events", type=int, default=10000,
         help="per-run event buffer bound (older events are evicted)",
+    )
+    serve_parser.add_argument(
+        "--coordinator", action="store_true",
+        help="coordinator mode: execute nothing locally, expose submitted "
+        "runs as point leases for 'repro worker' processes",
+    )
+    serve_parser.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="SECONDS",
+        help="coordinator mode: reclaim a worker's lease after this many "
+        "seconds without a report",
+    )
+    serve_parser.add_argument(
+        "--lease-attempts", type=positive_int, default=3, metavar="N",
+        help="coordinator mode: attempt budget per point before it is "
+        "marked failed",
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="execute leased scenario points for a 'repro serve --coordinator'",
+        allow_abbrev=False,
+    )
+    worker_parser.add_argument(
+        "--coordinator", required=True, metavar="URL",
+        help="base URL of the coordinator service, e.g. http://127.0.0.1:8765",
+    )
+    worker_parser.add_argument(
+        "--name", default=None, help="worker name shown in the lease listing"
+    )
+    worker_parser.add_argument(
+        "--max-points", type=positive_int, default=1, metavar="N",
+        help="points to lease per request",
+    )
+    worker_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="delay between lease requests while no work is available",
+    )
+    worker_parser.add_argument(
+        "--exit-when-idle", action="store_true",
+        help="exit once the coordinator has no open work (default: keep "
+        "polling for future runs)",
+    )
+    worker_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the worker's final statistics as JSON",
     )
     return parser
 
@@ -267,6 +331,30 @@ def _failure_flags(args: argparse.Namespace) -> tuple:
     return keep_going, max_failures
 
 
+def _sink_url_from_args(args: argparse.Namespace) -> Optional[str]:
+    """The artifact-store URL the flags ask for (``None`` = caching off).
+
+    ``--sink URL`` is the one way to choose a store; ``--cache-dir DIR`` is
+    its deprecated spelling (a plain path is a valid ``--sink`` value), kept
+    as a shim that warns once per process like the ``run_trials`` adapter.
+    """
+    url = getattr(args, "sink", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        from repro.api._deprecation import warn_once
+
+        warn_once(
+            "cli-cache-dir",
+            "--cache-dir is deprecated; use --sink file://DIR "
+            "(or --sink DIR) instead",
+        )
+        if url is None:
+            url = cache_dir
+    if getattr(args, "no_cache", False):
+        return None
+    return url if url is not None else default_cache_dir()
+
+
 def _make_pipeline(
     args: argparse.Namespace, point_keep_going: bool = False
 ) -> ExperimentPipeline:
@@ -277,13 +365,11 @@ def _make_pipeline(
     instead keep the pipeline strict and catch failures per experiment, so a
     broken experiment cannot leave half-interpreted points behind.
     """
-    if args.no_cache:
-        cache_dir = None
-    else:
-        cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    url = _sink_url_from_args(args)
+    sink = api.sink_from_url(url) if url is not None else None
     keep_going, max_failures = _failure_flags(args) if point_keep_going else (False, None)
     return ExperimentPipeline(
-        jobs=args.jobs, cache_dir=cache_dir,
+        jobs=args.jobs, sink=sink,
         keep_going=keep_going, max_failures=max_failures,
     )
 
@@ -718,26 +804,28 @@ def _command_serve(args, out) -> int:
     # Imported lazily: the service package is only needed by this command.
     from repro.service import ExperimentService, ServiceConfig, create_server
 
-    if args.no_cache:
-        cache_dir = None
-    else:
-        cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    url = _sink_url_from_args(args)
     try:
+        sink = api.sink_from_url(url) if url is not None else api.MemorySink()
         service = ExperimentService(ServiceConfig(
             workers=args.workers,
             jobs=args.jobs,
-            cache_dir=cache_dir,
+            sink=sink,
             max_events=args.max_events,
+            coordinator=args.coordinator,
+            lease_ttl=args.lease_ttl,
+            lease_attempts=args.lease_attempts,
         ))
         server = create_server(service, host=args.host, port=args.port)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
+    mode = ", coordinator=on" if args.coordinator else ""
     # The announce line is a machine-readable contract: scripts starting the
     # service on port 0 read the actual port from it (see ci service-smoke).
     print(f"repro serve: listening on http://{host}:{port} "
-          f"(workers={args.workers}, jobs={args.jobs})", file=out, flush=True)
+          f"(workers={args.workers}, jobs={args.jobs}{mode})", file=out, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -747,6 +835,34 @@ def _command_serve(args, out) -> int:
         server.shutdown()
         server.server_close()
         service.shutdown(drain=True)
+    return 0
+
+
+def _command_worker(args, out) -> int:
+    # Imported lazily: the distributed package is only needed by this command.
+    from repro.distributed import run_worker
+
+    stats = run_worker(
+        args.coordinator,
+        name=args.name,
+        max_points=args.max_points,
+        poll=args.poll,
+        exit_when_idle=args.exit_when_idle,
+        kill_exits_process=True,  # a chaos "kill" really kills this process
+    )
+    if args.json:
+        _dump_json(stats.as_dict(), out)
+    else:
+        print(
+            f"repro worker {stats.worker_id or '(unregistered)'}: "
+            f"{stats.completed} completed ({stats.cached} cached), "
+            f"{stats.failed} failed, stopped: {stats.stopped}",
+            file=out,
+        )
+    if stats.stopped.startswith("unreachable"):
+        return 2
+    if stats.stopped.startswith("coordinator lost"):
+        return 1
     return 0
 
 
@@ -763,6 +879,14 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if getattr(args, "sink", None) is not None:
+        try:
+            # Validate the URL up front (constructing a sink does no I/O) so
+            # a bad scheme is a clean CLI error, not a pipeline traceback.
+            api.sink_from_url(args.sink)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.command == "list":
         return _command_list(out)
     if args.command == "experiment":
@@ -783,6 +907,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_scenarios_run(args, out)
     if args.command == "serve":
         return _command_serve(args, out)
+    if args.command == "worker":
+        return _command_worker(args, out)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

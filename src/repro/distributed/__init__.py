@@ -1,0 +1,36 @@
+"""``repro.distributed`` — shared artifact store + worker fleet over HTTP.
+
+The last scaling lever from the ROADMAP: shard a sweep's points across
+machines without changing a single result byte.  Three pieces:
+
+* :class:`HttpSink` (:mod:`repro.distributed.http_sink`) — a full
+  :class:`repro.api.ResultSink` implementation against the service's
+  ``/artifacts`` endpoints: checksum-verified reads, idempotent
+  content-addressed writes.  Any :class:`repro.scenarios.ExperimentPipeline`
+  pointed at it (``--sink http://host:port``) resumes from whatever any
+  worker already computed.
+* the **coordinator** — ``repro serve --coordinator`` exposes submitted runs
+  as point leases (:mod:`repro.service.leases`): TTL-bounded, attempt-
+  budgeted grants that are reclaimed and re-issued when a worker dies
+  mid-point (the cross-machine shape of the PR 8 supervisor).
+* :func:`run_worker` (:mod:`repro.distributed.worker`) — the ``repro worker``
+  loop: register, lease points, execute them through the existing
+  measurement path, push artifacts to the shared sink, report back.
+
+Determinism contract: every point's payload is a pure function of its
+scenario seed policy, so *where* a point executes — which worker, which
+attempt, after how many reclamations — cannot change results.  The
+cross-worker agreement tests assert sweeps sharded over a fleet are
+byte-identical to a single-machine serial run, chaos included.
+"""
+
+from repro.distributed.http_sink import HttpSink, HttpSinkError
+from repro.distributed.worker import WorkerStats, execute_lease, run_worker
+
+__all__ = [
+    "HttpSink",
+    "HttpSinkError",
+    "WorkerStats",
+    "execute_lease",
+    "run_worker",
+]

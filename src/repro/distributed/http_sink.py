@@ -1,0 +1,111 @@
+"""A remote :class:`repro.api.ResultSink` over the service's artifact API.
+
+``HttpSink`` implements the full sink contract — ``store`` / ``load`` /
+``keys`` / ``artifact`` / ``__contains__`` — against a running experiment
+service (``repro serve``), so any pipeline pointed at
+``--sink http://host:port`` shares one artifact store across machines:
+
+* **reads are checksum-verified end to end**: the artifact travels with its
+  ``"sha256:<hex>"`` payload checksum and is rejected as a miss (counted in
+  ``corruption_detected``, like the local sinks) when the received payload
+  does not hash to it — a flipped bit on the server's disk or on the wire
+  reads as a cache miss, never as a wrong result;
+* **writes are idempotent and content-addressed**: ``PUT /artifacts/{key}``
+  verifies the checksum server-side and no-ops when the key already exists,
+  so two workers racing to store the same point (same key ⇒ same canonical
+  payload, by the deterministic seed policy) cannot conflict;
+* **wire fidelity**: transfers use the raw (Python-extended) JSON encoding in
+  which ``inf``/``nan`` spread times survive as literals, byte-compatible
+  with what :class:`repro.api.LocalDirSink` writes to disk.
+
+Transport failures (connection refused, 5xx) raise :class:`HttpSinkError`
+rather than masquerading as cache misses: a pipeline that silently recomputes
+everything because the store is down would defeat the cross-machine agreement
+the sink exists to provide.  A plain 404 is an honest miss.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import warnings
+from typing import Any, Dict, List, Optional
+
+from repro.api.client import DEFAULT_TIMEOUT, ServiceClient, ServiceError
+from repro.api.sinks import ResultSink, payload_checksum
+
+
+class HttpSinkError(RuntimeError):
+    """The artifact service could not be reached or refused the operation."""
+
+
+class HttpSink(ResultSink):
+    """Artifact store backed by a remote experiment service."""
+
+    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT):
+        self.client = ServiceClient(base_url, timeout=timeout)
+        self.corruption_detected = 0
+
+    def __repr__(self) -> str:
+        return f"HttpSink({self.client.base_url!r})"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _fetch(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self.client.artifact(key, raw=True)
+        except ServiceError as error:
+            raise HttpSinkError(
+                f"artifact service rejected GET {key!r}: {error}"
+            ) from error
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            raise HttpSinkError(
+                f"artifact service unreachable at {self.client.base_url}: {error}"
+            ) from error
+
+    # -- ResultSink contract -------------------------------------------------
+
+    def load(self, key, spec):
+        artifact = self._fetch(key)
+        if artifact is None or artifact.get("spec") != spec:
+            return None  # miss, hash collision or stale format: recompute
+        payload = artifact.get("payload")
+        recorded = artifact.get("checksum")
+        if recorded is not None and recorded != payload_checksum(payload):
+            self.corruption_detected += 1
+            warnings.warn(
+                f"remote artifact {key} failed checksum verification; "
+                "treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return payload
+
+    def store(self, key, spec, kind, payload):
+        try:
+            self.client.store_artifact(key, spec, kind, payload)
+        except ServiceError as error:
+            raise HttpSinkError(
+                f"artifact service rejected PUT {key!r}: {error}"
+            ) from error
+        except (urllib.error.URLError, OSError) as error:
+            raise HttpSinkError(
+                f"artifact service unreachable at {self.client.base_url}: {error}"
+            ) from error
+
+    def keys(self) -> List[str]:
+        try:
+            return self.client.artifact_keys()
+        except (ServiceError, urllib.error.URLError, OSError) as error:
+            raise HttpSinkError(
+                f"artifact service unreachable at {self.client.base_url}: {error}"
+            ) from error
+
+    def __contains__(self, key):
+        return self._fetch(key) is not None
+
+    def artifact(self, key):
+        return self._fetch(key)
+
+
+__all__ = ["HttpSink", "HttpSinkError"]

@@ -8,6 +8,8 @@ hash, and exposes Prometheus metrics.  Layers:
 * :mod:`repro.service.events` — bounded, replayable per-run event streams;
 * :mod:`repro.service.runs` — run records, lifecycle states, the registry;
 * :mod:`repro.service.metrics` — service counters + Prometheus rendering;
+* :mod:`repro.service.leases` — TTL-bounded point leases for the distributed
+  coordinator mode (``repro serve --coordinator`` + ``repro worker``);
 * :mod:`repro.service.app` — :class:`ExperimentService`: queue, worker pool,
   execution, result documents (transport-independent, fully testable);
 * :mod:`repro.service.http` — the ``http.server`` adapter and SSE framing.
@@ -34,13 +36,25 @@ from repro.service.app import (
 )
 from repro.service.events import DEFAULT_MAX_EVENTS, EventStream
 from repro.service.http import ServiceHTTPServer, create_server
+from repro.service.leases import (
+    DEFAULT_LEASE_ATTEMPTS,
+    DEFAULT_LEASE_TTL,
+    Lease,
+    LeaseRegistry,
+    PointTask,
+)
 from repro.service.metrics import ServiceMetrics, render_prometheus
 from repro.service.runs import RUN_STATES, RunRecord, RunRegistry, TERMINAL_STATES
 
 __all__ = [
+    "DEFAULT_LEASE_ATTEMPTS",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_MAX_EVENTS",
     "EventStream",
     "ExperimentService",
+    "Lease",
+    "LeaseRegistry",
+    "PointTask",
     "RUN_STATES",
     "RunRecord",
     "RunRegistry",

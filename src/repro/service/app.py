@@ -33,9 +33,15 @@ from repro.api.sinks import LocalDirSink, MemorySink, ResultSink, payload_checks
 from repro.checks import evaluate_checks
 from repro.execution.chaos import ChaosMonkey
 from repro.execution.policy import RetryPolicy
-from repro.scenarios.pipeline import ExperimentPipeline
+from repro.execution.report import ExecutionReport
+from repro.scenarios.pipeline import ExperimentPipeline, PointResult, _normalise
 from repro.scenarios.scenario import Scenario
 from repro.service.events import DEFAULT_MAX_EVENTS, EventStream
+from repro.service.leases import (
+    DEFAULT_LEASE_ATTEMPTS,
+    DEFAULT_LEASE_TTL,
+    LeaseRegistry,
+)
 from repro.service.metrics import ServiceMetrics, render_prometheus
 from repro.service.runs import RunRecord, RunRegistry
 from repro.utils.validation import require
@@ -82,6 +88,13 @@ class ServiceConfig:
     engine hooks then fire inside forked workers, invisible to subscribers —
     only lifecycle and result events stream).  ``workers`` is how many runs
     execute concurrently.
+
+    ``coordinator=True`` switches run execution to the distributed mode: the
+    service computes nothing itself, it exposes each submitted run's missing
+    points as TTL-bounded leases (:mod:`repro.service.leases`) for external
+    ``repro worker`` processes, and assembles results from the shared sink.
+    ``lease_ttl`` / ``lease_attempts`` bound each point's wall-clock grant
+    and total attempt budget.
     """
 
     workers: int = 2
@@ -93,6 +106,9 @@ class ServiceConfig:
     max_events: int = DEFAULT_MAX_EVENTS
     policy: Optional[RetryPolicy] = None
     chaos: Optional[ChaosMonkey] = None
+    coordinator: bool = False
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    lease_attempts: int = DEFAULT_LEASE_ATTEMPTS
 
 
 @dataclass
@@ -123,6 +139,12 @@ class ExperimentService:
             self.sink = LocalDirSink(self.config.cache_dir)
         else:
             self.sink = MemorySink()
+        self.leases: Optional[LeaseRegistry] = None
+        if self.config.coordinator:
+            self.leases = LeaseRegistry(
+                ttl=self.config.lease_ttl,
+                max_attempts=self.config.lease_attempts,
+            )
         self.registry = RunRegistry()
         self.metrics = ServiceMetrics()
         self._queue: "queue.Queue[Optional[_QueueItem]]" = queue.Queue()
@@ -194,20 +216,28 @@ class ExperimentService:
     def _execute(self, record: RunRecord) -> None:
         record.mark_running()
         self._emit(record, {"kind": "state", "run": record.id, "state": "running"})
-        pipeline = ExperimentPipeline(
-            jobs=self.config.jobs,
-            sink=self.sink,
-            keep_going=self.config.keep_going,
-            max_failures=self.config.max_failures,
-            policy=self.config.policy,
-            chaos=self.config.chaos,
-        )
-        observer = StructuredObserver(lambda event: self._emit(record, event))
+        report = ExecutionReport()
         error: Optional[str] = None
         result: Optional[Dict[str, Any]] = None
         try:
-            results = pipeline.run(record.scenarios, observer=observer)
-            result = self._result_document(record, results, pipeline)
+            if self.leases is not None:
+                results = self._run_coordinated(record, report)
+            else:
+                pipeline = ExperimentPipeline(
+                    jobs=self.config.jobs,
+                    sink=self.sink,
+                    keep_going=self.config.keep_going,
+                    max_failures=self.config.max_failures,
+                    policy=self.config.policy,
+                    chaos=self.config.chaos,
+                )
+                observer = StructuredObserver(lambda event: self._emit(record, event))
+                try:
+                    results = pipeline.run(record.scenarios, observer=observer)
+                finally:
+                    # Partial counters still count when the run raises.
+                    report.merge(pipeline.report)
+            result = self._result_document(record, results, report)
             if not result["all_passed"]:
                 failed = [
                     point["label"] for point in result["points"]
@@ -220,7 +250,7 @@ class ExperimentService:
         except Exception as exc:  # noqa: BLE001 - runs must never kill a worker
             error = f"{type(exc).__name__}: {exc}"
         finally:
-            self.metrics.merge_execution(pipeline.report)
+            self.metrics.merge_execution(report)
         if error is None:
             record.mark_completed(result)
             self.metrics.increment("runs_completed")
@@ -237,11 +267,135 @@ class ExperimentService:
         )
         record.stream.close()
 
+    def _run_coordinated(
+        self, record: RunRecord, report: ExecutionReport
+    ) -> List[PointResult]:
+        """Expose the run's missing points as leases and await the fleet.
+
+        The coordinator resolves cache hits itself (a fully cached run needs
+        no workers at all — that is the resume contract), enqueues every
+        missing point in the lease registry, then blocks until each task is
+        terminal — completed by some worker, failed on an exhausted attempt
+        budget, or aborted by shutdown.  Payloads are read back from the
+        shared sink, so the assembled results are bit-identical to what a
+        single-machine pipeline run would return.
+        """
+        points = [point for scenario in record.scenarios for point in scenario.points()]
+        entries = []  # (point, key, task | None, cached payload | None)
+        corruption_before = getattr(self.sink, "corruption_detected", 0)
+        for position, point in enumerate(points):
+            key = point.cache_key()
+            payload = self.sink.load(key, _normalise(point.spec()))
+            if payload is not None:
+                entries.append((point, key, None, payload))
+                continue
+            spec = {
+                "scenario": point.scenario.to_dict(),
+                "value": point.value,
+                "index": point.index,
+                # The point's position in the run: the chaos schedule index,
+                # so REPRO_CHAOS on workers replays like the local supervisor.
+                "chaos_index": position,
+            }
+            task = self.leases.add_point(record.id, spec, key)
+            entries.append((point, key, task, None))
+            self._emit(record, {
+                "kind": "lease", "run": record.id, "task": task.task_id,
+                "key": key, "state": "pending",
+            })
+        report.cache_hits += sum(1 for entry in entries if entry[2] is None)
+        report.cache_corruption += (
+            getattr(self.sink, "corruption_detected", 0) - corruption_before
+        )
+
+        while not self.leases.wait_run(record.id, timeout=0.5):
+            if self._abort:
+                self.leases.abort_open(record.id, error="aborted: service shutdown")
+
+        results: List[PointResult] = []
+        for point, key, task, payload in entries:
+            if task is None:
+                results.append(PointResult(
+                    scenario=point.scenario, value=point.value, index=point.index,
+                    key=key, payload=payload, cached=True,
+                ))
+                continue
+            report.items += 1
+            report.retries += max(0, task.attempts - 1)
+            report.timeouts += task.reclaims
+            if task.state == "completed":
+                payload = self.sink.load(key, _normalise(point.spec()))
+            if task.state == "completed" and payload is not None:
+                report.succeeded += 1
+                results.append(PointResult(
+                    scenario=point.scenario, value=point.value, index=point.index,
+                    key=key, payload=payload, cached=task.cached,
+                    attempts=task.attempts,
+                ))
+            else:
+                report.failures += 1
+                if task.state == "completed":
+                    status, error = "failed", (
+                        "worker reported completion but the artifact is "
+                        "missing from the shared sink"
+                    )
+                elif task.state == "aborted":
+                    status, error = "aborted", task.error
+                else:
+                    status, error = "failed", task.error
+                results.append(PointResult(
+                    scenario=point.scenario, value=point.value, index=point.index,
+                    key=key, payload=None, cached=False, status=status,
+                    error=error, attempts=task.attempts,
+                ))
+            self._emit(record, {
+                "kind": "lease", "run": record.id, "task": task.task_id,
+                "key": key, "state": task.state, "attempts": task.attempts,
+                "reclaims": task.reclaims, "worker": task.completed_by,
+            })
+        return results
+
+    # -- artifacts (PUT /artifacts/{key}) -------------------------------------
+
+    def store_artifact(self, key: str, document: Any) -> Dict[str, Any]:
+        """Validate and store one artifact pushed by a remote worker.
+
+        Writes are content-addressed and idempotent: a key that already
+        exists is left untouched (two workers racing to store the same point
+        carry the same canonical payload, so dropping the second write is
+        lossless).  A ``checksum`` claim in the document is verified against
+        the payload before anything is stored; a mismatch is rejected so a
+        corrupted upload can never poison the shared store.
+        """
+        if not isinstance(document, dict):
+            raise ValueError("artifact body must be a JSON object")
+        spec = document.get("spec")
+        payload = document.get("payload")
+        kind = document.get("kind")
+        if not isinstance(spec, dict) or not isinstance(payload, dict) \
+                or not isinstance(kind, str):
+            raise ValueError(
+                "artifact document needs 'spec' (object), 'payload' (object) "
+                "and 'kind' (string)"
+            )
+        checksum = document.get("checksum")
+        actual = payload_checksum(payload)
+        if checksum is not None and checksum != actual:
+            raise ValueError(
+                f"payload checksum mismatch: request claims {checksum}, "
+                f"payload hashes to {actual}"
+            )
+        if self.sink.artifact(key) is not None:
+            return {"key": key, "stored": False, "existed": True}
+        self.sink.store(key, spec, kind, payload)
+        self.metrics.increment("artifacts_stored")
+        return {"key": key, "stored": True, "existed": False}
+
     def _result_document(
         self,
         record: RunRecord,
         results,
-        pipeline: ExperimentPipeline,
+        report: ExecutionReport,
     ) -> Dict[str, Any]:
         """The run's JSON result: points, check reports, execution counters."""
         points = [
@@ -279,7 +433,7 @@ class ExperimentService:
             "points": points,
             "checks": checks,
             "all_passed": all_ok and checks_passed,
-            "execution": pipeline.report.as_dict(),
+            "execution": report.as_dict(),
         }
 
     def _emit(self, record: RunRecord, event: Dict[str, Any]) -> None:
@@ -298,6 +452,7 @@ class ExperimentService:
             "queue_depth": self.queue_depth(),
             "runs_running": self.registry.count_in_state("running"),
             "worker_threads": len(self._workers),
+            "leases_open": self.leases.open_count() if self.leases is not None else 0,
         }
         return render_prometheus(self.metrics.counters(), self.metrics.execution(), gauges)
 
@@ -315,6 +470,10 @@ class ExperimentService:
             self._closed = True
             if not drain:
                 self._abort = True
+        if not drain and self.leases is not None:
+            # Wake coordinated runs immediately instead of waiting for their
+            # next abort poll; open leases go terminal "aborted".
+            self.leases.abort_open(error="aborted: service shutdown")
         if not already_closed:
             # Sentinels queue FIFO behind every accepted run, so each worker
             # exits only after the backlog is handled (executed or aborted).

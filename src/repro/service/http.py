@@ -17,11 +17,24 @@ GET    ``/runs/{id}``               one run's status + result document
 GET    ``/runs/{id}/events``        live SSE feed (replays from the start;
                                     ``?from=N`` resumes at sequence ``N``)
 GET    ``/artifacts``               keys stored in the artifact sink
-GET    ``/artifacts/{key}``         one cached artifact by content hash
+GET    ``/artifacts/{key}``         one cached artifact by content hash;
+                                    ``?raw=1`` serves the store-fidelity
+                                    encoding (``Infinity``/``NaN`` literals)
+PUT    ``/artifacts/{key}``         idempotent checksum-verified write
+POST   ``/workers``                 register a remote worker (coordinator)
+POST   ``/leases``                  request point leases (coordinator)
+POST   ``/leases/{id}``             report a leased attempt's outcome
+GET    ``/leases``                  every task's lease state (coordinator)
 GET    ``/metrics``                 Prometheus text exposition
 GET    ``/healthz``                 liveness probe
 GET    ``/version``                 library version
 ====== ============================ ==========================================
+
+The coordinator routes (``/workers``, ``/leases``) answer 409 unless the
+service was started in coordinator mode (``repro serve --coordinator``).
+Lease grants and raw artifacts are sent as Python-extended JSON (non-finite
+floats as literals) because their consumers are ``repro`` processes that
+need byte-level payload fidelity; everything else stays strict RFC 8259.
 
 SSE framing: each event is ``id: <seq>`` / ``event: <kind>`` / ``data:
 <json>`` and the stream ends when the run does; ``: keep-alive`` comment
@@ -94,6 +107,20 @@ class RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json_raw(self, status: int, document: Any) -> None:
+        """Python-extended JSON (``Infinity``/``NaN`` literals survive).
+
+        The store-fidelity encoding for artifact payloads and lease grants:
+        byte-compatible with what the sinks persist, parseable by any Python
+        ``json.loads``.  Non-Python consumers should use the strict routes.
+        """
+        body = json.dumps(document, allow_nan=True, indent=2).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_text(self, status: int, body: str, content_type: str) -> None:
         data = body.encode("utf-8")
         self.send_response(status)
@@ -156,8 +183,15 @@ class RequestHandler(BaseHTTPRequestHandler):
                 artifact = self.service.sink.artifact(parts[1])
                 if artifact is None:
                     self._send_error_json(404, f"unknown artifact {parts[1]!r}")
+                elif parse_qs(url.query).get("raw", ["0"])[0] in ("1", "true"):
+                    self._send_json_raw(200, artifact)
                 else:
                     self._send_json(200, artifact)
+            elif parts == ["leases"]:
+                if self.service.leases is None:
+                    self._send_error_json(409, "service is not in coordinator mode")
+                else:
+                    self._send_json(200, self.service.leases.as_dict())
             else:
                 self._send_error_json(404, f"no such resource: {url.path}")
         except (BrokenPipeError, ConnectionResetError):
@@ -167,9 +201,21 @@ class RequestHandler(BaseHTTPRequestHandler):
         self.service.metrics.increment("http_requests")
         url = urlsplit(self.path)
         parts = [part for part in url.path.split("/") if part]
-        if parts != ["runs"]:
-            self._send_error_json(404, f"no such resource: {url.path}")
-            return
+        try:
+            if parts == ["runs"]:
+                self._handle_submit()
+            elif parts == ["workers"]:
+                self._handle_register_worker()
+            elif parts == ["leases"]:
+                self._handle_acquire_leases()
+            elif len(parts) == 2 and parts[0] == "leases":
+                self._handle_report_lease(parts[1])
+            else:
+                self._send_error_json(404, f"no such resource: {url.path}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    def _handle_submit(self) -> None:
         try:
             scenarios = parse_scenarios(self._read_body_json())
         except ValueError as error:
@@ -182,11 +228,118 @@ class RequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(202, record.summary())
 
+    # -- coordinator routes ----------------------------------------------------
+
+    def _coordinator(self):
+        """The lease registry, or None after answering 409."""
+        registry = self.service.leases
+        if registry is None:
+            self._send_error_json(409, "service is not in coordinator mode")
+        return registry
+
+    def _handle_register_worker(self) -> None:
+        registry = self._coordinator()
+        if registry is None:
+            return
+        try:
+            document = self._read_body_json()
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        name = document.get("name") if isinstance(document, dict) else None
+        worker_id = registry.register_worker(name)
+        self.service.metrics.increment("workers_registered")
+        self._send_json(201, {"worker": worker_id})
+
+    def _handle_acquire_leases(self) -> None:
+        registry = self._coordinator()
+        if registry is None:
+            return
+        try:
+            document = self._read_body_json()
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        worker = document.get("worker") if isinstance(document, dict) else None
+        if not isinstance(worker, str) or not worker:
+            self._send_error_json(400, "'worker' (a registered worker id) is required")
+            return
+        max_points = document.get("max_points", 1)
+        try:
+            grants = registry.acquire(worker, max_points=max_points)
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        if grants:
+            state = "granted"
+            self.service.metrics.increment("leases_granted", len(grants))
+        elif registry.open_work():
+            state = "busy"  # open points exist but are leased elsewhere
+        elif self.service.closed:
+            state = "closed"  # shutting down and drained: workers can exit
+        else:
+            state = "idle"  # nothing to do right now; more runs may arrive
+        # Raw encoding: lease specs carry scenario payloads that must
+        # round-trip byte-exactly through the worker.
+        self._send_json_raw(200, {
+            "state": state,
+            "leases": [grant.as_dict() for grant in grants],
+        })
+
+    def _handle_report_lease(self, lease_id: str) -> None:
+        registry = self._coordinator()
+        if registry is None:
+            return
+        try:
+            document = self._read_body_json()
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        if not isinstance(document, dict):
+            self._send_error_json(400, "lease report must be a JSON object")
+            return
+        worker = document.get("worker") or ""
+        status = document.get("status")
+        if status == "ok":
+            task, accepted = registry.complete(
+                lease_id, worker, cached=bool(document.get("cached", False))
+            )
+        elif status == "failed":
+            error = str(document.get("error") or "worker reported failure")
+            task, accepted = registry.fail(lease_id, worker, error)
+        else:
+            self._send_error_json(400, "'status' must be 'ok' or 'failed'")
+            return
+        if task is None:
+            self._send_error_json(404, f"unknown lease {lease_id!r}")
+            return
+        self._send_json(200, {
+            "task": task.task_id,
+            "state": task.state,
+            "accepted": accepted,
+        })
+
+    # -- artifact writes -------------------------------------------------------
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self.service.metrics.increment("http_requests")
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if len(parts) != 2 or parts[0] != "artifacts":
+            self._send_error_json(404, f"no such resource: {url.path}")
+            return
+        try:
+            document = self._read_body_json()
+            outcome = self.service.store_artifact(parts[1], document)
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        self._send_json(200 if outcome["existed"] else 201, outcome)
+
     def _method_not_allowed(self) -> None:
         self.service.metrics.increment("http_requests")
         self._send_error_json(405, f"method {self.command} not allowed")
 
-    do_PUT = _method_not_allowed
     do_DELETE = _method_not_allowed
     do_PATCH = _method_not_allowed
 

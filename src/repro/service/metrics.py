@@ -29,6 +29,9 @@ COUNTER_HELP: Dict[str, str] = {
     "events_emitted": "Events published across all run event streams.",
     "events_dropped": "Events evicted from bounded stream buffers (lost to replay).",
     "http_requests": "HTTP requests handled (any route, any status).",
+    "artifacts_stored": "Artifacts accepted via PUT /artifacts/{key} (idempotent no-ops excluded).",
+    "workers_registered": "Remote workers registered via POST /workers.",
+    "leases_granted": "Point leases granted to remote workers via POST /leases.",
 }
 
 #: HELP strings for the aggregated ExecutionReport counters.
@@ -49,6 +52,7 @@ GAUGE_HELP: Dict[str, str] = {
     "queue_depth": "Runs waiting in the worker queue.",
     "runs_running": "Runs currently executing.",
     "worker_threads": "Worker threads in the run-execution pool.",
+    "leases_open": "Leaseable point tasks not yet terminal (coordinator mode).",
 }
 
 

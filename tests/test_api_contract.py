@@ -35,6 +35,8 @@ EXPECTED_ALL = [
     "RunObserver",
     "RunResult",
     "RunSpec",
+    "ServiceClient",
+    "ServiceError",
     "StructuredObserver",
     "SweepFrame",
     "TrialSet",
@@ -43,6 +45,7 @@ EXPECTED_ALL = [
     "event_to_dict",
     "payload_checksum",
     "run",
+    "sink_from_url",
     "sweep_scenario",
 ]
 
@@ -69,6 +72,19 @@ EXPECTED_SIGNATURES = {
     "RunBuilder.observe": ["self", "observers"],
     "bind_point": ["point", "max_time"],
     "sweep_scenario": ["scenario"],
+    "sink_from_url": ["url"],
+    # The typed service client: programs/tests speak these methods instead of
+    # hand-rolled urllib calls, so their shapes are part of the contract.
+    "ServiceClient": ["base_url", "timeout"],
+    "ServiceClient.submit": ["self", "scenarios"],
+    "ServiceClient.run": ["self", "run_id"],
+    "ServiceClient.events": ["self", "run_id", "start", "timeout"],
+    "ServiceClient.wait": ["self", "run_id", "timeout"],
+    "ServiceClient.artifact": ["self", "key", "raw"],
+    "ServiceClient.store_artifact": ["self", "key", "spec", "kind", "payload", "checksum"],
+    "ServiceClient.register_worker": ["self", "name"],
+    "ServiceClient.acquire_leases": ["self", "worker", "max_points"],
+    "ServiceClient.report_lease": ["self", "lease_id", "worker", "ok", "error", "cached"],
 }
 
 #: Frozen observer hook names: the streaming protocol both engines feed.

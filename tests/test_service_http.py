@@ -1,8 +1,10 @@
 """HTTP-layer tests for ``repro serve``: real sockets, real SSE, real chaos.
 
 Each test binds a :class:`ServiceHTTPServer` on an ephemeral port and talks
-to it with ``urllib`` — the same client surface the README documents with
-curl.  Coverage required by the service contract:
+to it through the typed :class:`repro.api.ServiceClient` (the surface
+programs use), dropping to raw ``urllib`` only where the *wire* itself is
+under test — response status codes, SSE framing, malformed bodies.
+Coverage required by the service contract:
 
 * endpoint response schemas (health, version, submit, listing, detail,
   artifacts, metrics) and the 400/404/405/503 error paths;
@@ -28,7 +30,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.api import EventLog, bind_point, event_to_dict
+from repro.api import EventLog, ServiceClient, ServiceError, bind_point, event_to_dict
 from repro.execution.policy import RetryPolicy
 from repro.scenarios.scenario import Scenario
 from repro.service import ExperimentService, ServiceConfig, create_server
@@ -52,10 +54,15 @@ def scenario_body(label="http", n=16, trials=2, seed=0, **extra):
 
 
 class Client:
-    """Tiny urllib wrapper returning ``(status, parsed_body)``."""
+    """Wire-level helpers returning ``(status, parsed_body)``, plus ``.api``.
+
+    ``.api`` is the typed :class:`ServiceClient`; the raw helpers stay for
+    the tests that assert transport details a typed client hides.
+    """
 
     def __init__(self, base):
         self.base = base
+        self.api = ServiceClient(base)
 
     def get(self, path, timeout=30):
         with urllib.request.urlopen(self.base + path, timeout=timeout) as resp:
@@ -88,8 +95,7 @@ class Client:
 
     def wait_terminal(self, run_id, timeout=WAIT):
         """Follow the SSE feed to completion, then return the run detail."""
-        self.sse_events(f"/runs/{run_id}/events", timeout=timeout)
-        return self.get(f"/runs/{run_id}")[1]
+        return self.api.wait(run_id, timeout=timeout)
 
 
 @pytest.fixture
@@ -111,9 +117,8 @@ def served():
 class TestEndpointSchemas:
     def test_healthz_and_version(self, served):
         client, _ = served
-        assert client.get("/healthz") == (200, {"status": "ok"})
-        status, version = client.get("/version")
-        assert status == 200
+        assert client.api.health() == {"status": "ok"}
+        version = client.api.version()
         assert version["service"] == "repro"
         assert re.fullmatch(r"\d+\.\d+\.\d+", version["version"])
 
@@ -133,22 +138,19 @@ class TestEndpointSchemas:
         assert set(point) >= {"label", "value", "index", "key", "cached",
                               "status", "error", "attempts", "checksum", "summary"}
 
-        status, listing = client.get("/runs")
-        assert status == 200
-        assert [run["id"] for run in listing["runs"]] == [submitted["id"]]
-        assert listing["runs"][0]["state"] == "completed"
+        runs = client.api.runs()
+        assert [run["id"] for run in runs] == [submitted["id"]]
+        assert runs[0]["state"] == "completed"
 
     def test_artifact_served_by_content_hash(self, served):
         client, _ = served
-        _, submitted = client.post("/runs", scenario_body(label="artifacts"))
+        submitted = client.api.submit(scenario_body(label="artifacts"))
         detail = client.wait_terminal(submitted["id"])
         (point,) = detail["result"]["points"]
 
-        status, keys = client.get("/artifacts")
-        assert status == 200 and point["key"] in keys["keys"]
+        assert point["key"] in client.api.artifact_keys()
 
-        status, artifact = client.get(f"/artifacts/{point['key']}")
-        assert status == 200
+        artifact = client.api.artifact(point["key"], raw=False)
         assert sorted(artifact) == ["checksum", "key", "kind", "payload", "spec"]
         assert artifact["key"] == point["key"]
         assert artifact["checksum"] == point["checksum"]
@@ -156,10 +158,9 @@ class TestEndpointSchemas:
 
     def test_metrics_parse_as_prometheus_text(self, served):
         client, _ = served
-        _, submitted = client.post("/runs", scenario_body(label="metrics"))
+        submitted = client.api.submit(scenario_body(label="metrics"))
         client.wait_terminal(submitted["id"])
-        status, text = client.get_text("/metrics")
-        assert status == 200
+        text = client.api.metrics()
         lines = text.strip().splitlines()
         samples = {}
         for line in lines:
@@ -177,22 +178,22 @@ class TestEndpointSchemas:
 
     def test_error_paths(self, served):
         client, _ = served
-        cases = [
-            ("GET", "/runs/run-999999", 404),
-            ("GET", "/artifacts/deadbeef", 404),
-            ("GET", "/runs/run-999999/events", 404),
-            ("GET", "/nope", 404),
-            ("POST", "/nope", 404),
-        ]
-        for method, path, expected in cases:
+        # typed surface: errors arrive as ServiceError with the HTTP status
+        with pytest.raises(ServiceError) as excinfo:
+            client.api.run("run-999999")
+        assert excinfo.value.status == 404 and excinfo.value.message
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.api.events("run-999999"))
+        assert excinfo.value.status == 404
+        # a missing artifact is None, not an exception
+        assert client.api.artifact("deadbeef") is None
+        # unknown paths still answer with the JSON error envelope on the wire
+        for method in ("GET", "POST"):
             with pytest.raises(urllib.error.HTTPError) as excinfo:
-                if method == "GET":
-                    client.get(path)
-                else:
-                    client.post(path, {})
-            assert excinfo.value.code == expected
+                client.get("/nope") if method == "GET" else client.post("/nope", {})
+            assert excinfo.value.code == 404
             body = json.loads(excinfo.value.read())
-            assert body["status"] == expected and body["error"]
+            assert body["status"] == 404 and body["error"]
 
     def test_bad_submissions_are_400(self, served):
         client, _ = served
@@ -225,7 +226,7 @@ class TestEventStreaming:
         """The wire feed replays the observer protocol in EventLog order."""
         client, _ = served
         body = scenario_body(label="sse", seed=11)
-        _, submitted = client.post("/runs", body)
+        submitted = client.api.submit(body)
         events = client.sse_events(f"/runs/{submitted['id']}/events")
 
         seqs = [event["seq"] for event in events]
@@ -244,7 +245,7 @@ class TestEventStreaming:
 
     def test_late_subscriber_replays_full_stream(self, served):
         client, _ = served
-        _, submitted = client.post("/runs", scenario_body(label="late"))
+        submitted = client.api.submit(scenario_body(label="late"))
         first = client.sse_events(f"/runs/{submitted['id']}/events")
         # the run is long finished; a second subscriber gets the same replay
         second = client.sse_events(f"/runs/{submitted['id']}/events")
@@ -261,8 +262,7 @@ class TestEventStreaming:
 
         def submit(index):
             try:
-                _, doc = client.post(
-                    "/runs", scenario_body(label=f"conc-{index}", seed=index))
+                doc = client.api.submit(scenario_body(label=f"conc-{index}", seed=index))
                 submitted.append(doc["id"])
             except Exception as error:  # noqa: BLE001 - collected for assertion
                 errors.append(error)
@@ -279,8 +279,7 @@ class TestEventStreaming:
         counters = service.metrics.counters()
         assert counters["runs_submitted"] == count
         assert counters["runs_completed"] == count
-        _, listing = client.get("/runs")
-        assert len(listing["runs"]) == count
+        assert len(client.api.runs()) == count
 
 
 class TestChaosMetrics:
@@ -297,13 +296,13 @@ class TestChaosMetrics:
         try:
             body = scenario_body(label="chaos", trials=1, sweep=[8, 12, 16, 20],
                                  sweep_name="n", params={})
-            _, submitted = client.post("/runs", body)
+            submitted = client.api.submit(body)
             detail = client.wait_terminal(submitted["id"])
             execution = detail["result"]["execution"]
             # the chaos monkey must actually have bitten this run
             assert execution["retries"] + execution["failures"] > 0
 
-            _, text = client.get_text("/metrics")
+            text = client.api.metrics()
             samples = {
                 line.split()[0]: float(line.split()[1])
                 for line in text.splitlines() if not line.startswith("#")
@@ -326,17 +325,16 @@ class TestShutdownDrain:
         threading.Thread(target=server.serve_forever, daemon=True).start()
         client = Client(f"http://127.0.0.1:{server.server_address[1]}")
         try:
-            ids = [client.post("/runs", scenario_body(label=f"drain-{i}", seed=i))[1]["id"]
+            ids = [client.api.submit(scenario_body(label=f"drain-{i}", seed=i))["id"]
                    for i in range(3)]
             service.shutdown(drain=True, timeout=WAIT)
             # everything queued before shutdown ran to completion
             for run_id in ids:
-                _, detail = client.get(f"/runs/{run_id}")
-                assert detail["state"] == "completed"
-            # the HTTP layer now refuses new work with 503
-            with pytest.raises(urllib.error.HTTPError) as excinfo:
-                client.post("/runs", scenario_body(label="rejected"))
-            assert excinfo.value.code == 503
+                assert client.api.run(run_id)["state"] == "completed"
+            # the service now refuses new work with 503
+            with pytest.raises(ServiceError) as excinfo:
+                client.api.submit(scenario_body(label="rejected"))
+            assert excinfo.value.status == 503
         finally:
             server.shutdown()
             server.server_close()
@@ -360,8 +358,8 @@ class TestServeCommand:
             match = re.search(r"http://([\d.]+):(\d+)", announce)
             assert match, f"unexpected announce line: {announce!r}"
             client = Client(f"http://{match.group(1)}:{match.group(2)}")
-            assert client.get("/healthz")[1] == {"status": "ok"}
-            _, submitted = client.post("/runs", scenario_body(label="cli", trials=1))
+            assert client.api.health() == {"status": "ok"}
+            submitted = client.api.submit(scenario_body(label="cli", trials=1))
             detail = client.wait_terminal(submitted["id"])
             assert detail["state"] == "completed"
         finally:
